@@ -1,0 +1,33 @@
+# Convenience targets for the repro repository.
+
+.PHONY: install test bench experiments experiments-small report csv clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-small:
+	REPRO_SCALE=small pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro --all --json-dir results/reference --report results/reference_report.md
+
+experiments-small:
+	REPRO_SCALE=small python -m repro --all
+
+report:
+	python -c "from repro.harness.report import generate_report; \
+	  generate_report('results/reference', 'results/reference_report.md')"
+
+csv:
+	python -c "from repro.harness.figures import export_csv; \
+	  export_csv('results/reference', 'results/csv')"
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

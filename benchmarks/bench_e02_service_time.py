@@ -1,0 +1,11 @@
+"""E02 — Sequential service-time distribution (CDF + moments).
+
+Regenerates this experiment's rows/series (see DESIGN.md §3 and
+EXPERIMENTS.md) and enforces its shape checks.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_e02_service_time(benchmark, ctx, record_result):
+    run_experiment_benchmark(benchmark, ctx, record_result, "e02")

@@ -1,0 +1,11 @@
+"""E06 — Adaptive vs fixed envelope (headline).
+
+Regenerates this experiment's rows/series (see DESIGN.md §3 and
+EXPERIMENTS.md) and enforces its shape checks.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_e06_adaptive(benchmark, ctx, record_result):
+    run_experiment_benchmark(benchmark, ctx, record_result, "e06")

@@ -1,0 +1,11 @@
+"""E09 — Bursty (MMPP2) robustness.
+
+Regenerates this experiment's rows/series (see DESIGN.md §3 and
+EXPERIMENTS.md) and enforces its shape checks.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_e09_bursty(benchmark, ctx, record_result):
+    run_experiment_benchmark(benchmark, ctx, record_result, "e09")

@@ -1,0 +1,11 @@
+"""E17 — Threshold-calibration sensitivity.
+
+Regenerates this experiment's rows/series (see DESIGN.md §3 and
+EXPERIMENTS.md) and enforces its shape checks.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_e17_thresholds(benchmark, ctx, record_result):
+    run_experiment_benchmark(benchmark, ctx, record_result, "e17")

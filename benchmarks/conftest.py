@@ -1,0 +1,57 @@
+"""Benchmark-suite plumbing.
+
+Each ``bench_eXX_*.py`` regenerates one of the paper's tables/figures:
+it runs the corresponding harness experiment once under
+``pytest-benchmark`` (pedantic mode — these are end-to-end experiments,
+not microbenchmarks), prints the reproduced rows/series, writes them to
+``benchmarks/results/``, and fails if any of the experiment's shape
+checks fail.
+
+Scale: set ``REPRO_SCALE=small`` for a quick pass; the default
+(reference) scale matches EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness.context import ExperimentContext
+from repro.harness.registry import run_experiment
+from repro.harness.result import ExperimentResult
+from repro.util.serde import dump_json
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    """One profiled system shared by every benchmark in the session."""
+    return ExperimentContext()
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Persist an experiment's rendered tables and JSON payload."""
+
+    def _record(result: ExperimentResult) -> None:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        text_path = RESULTS_DIR / f"{result.experiment_id}.txt"
+        text_path.write_text(result.render(), encoding="utf-8")
+        dump_json(result.to_json(), RESULTS_DIR / f"{result.experiment_id}.json")
+
+    return _record
+
+
+def run_experiment_benchmark(benchmark, ctx, record_result, experiment_id):
+    """Shared driver used by every bench_eXX module."""
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id, ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    record_result(result)
+    failed = [check for check in result.checks if not check.passed]
+    assert not failed, "failed shape checks: " + ", ".join(c.name for c in failed)
+    return result

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Bursty traffic: how adaptive parallelism behaves under MMPP arrivals.
+
+Production query streams are not Poisson — traffic arrives in bursts.
+This example holds the *mean* load fixed and raises burstiness (the
+ratio between the high- and low-intensity states of a 2-state MMPP),
+comparing sequential, fixed-4, and adaptive execution.
+
+Run:  python examples/bursty_load.py
+"""
+
+from repro.core import AdaptiveSearchSystem, SystemConfig
+from repro.sim.arrivals import MMPP2Arrivals
+from repro.util.rng import RngFactory
+from repro.util.tables import Table
+from repro.workloads import WorkbenchConfig, build_workbench
+
+POLICIES = ("sequential", "fixed-4", "adaptive")
+BURST_RATIOS = (1.0, 2.0, 4.0, 8.0)
+MEAN_UTILIZATION = 0.3
+
+
+def main() -> None:
+    print("Building and profiling the workbench...")
+    workbench = build_workbench(WorkbenchConfig.small(seed=2))
+    system = AdaptiveSearchSystem.from_workbench(
+        workbench, SystemConfig(n_queries=300)
+    )
+    mean_rate = system.rate_for_utilization(MEAN_UTILIZATION)
+    print(f"mean load: u={MEAN_UTILIZATION} ({mean_rate:,.0f} QPS); "
+          "20% of time in the burst state\n")
+
+    factory = RngFactory(77)
+    table = Table(
+        ["burst_ratio"] + [system.policy(p).name for p in POLICIES]
+        + ["adaptive mean degree"],
+        title="P99 latency (ms) under bursty arrivals",
+    )
+    for i, ratio in enumerate(BURST_RATIOS):
+        row = [ratio]
+        adaptive_mean_degree = float("nan")
+        for policy in POLICIES:
+            arrivals = MMPP2Arrivals.with_mean_rate(
+                mean_rate=mean_rate,
+                burst_ratio=ratio,
+                mean_dwell=0.05,
+                rng=factory.stream("mmpp", i, policy),
+            )
+            summary = system.run_point(
+                policy, mean_rate, duration=6.0, warmup=1.5,
+                seed=31 + i, arrivals=arrivals,
+            )
+            row.append(summary.p99_latency * 1e3)
+            if policy == "adaptive":
+                adaptive_mean_degree = summary.mean_degree
+        row.append(adaptive_mean_degree)
+        table.add_row(row)
+    table.print()
+
+    print("At ratio 1 (Poisson) adaptive parallelizes aggressively; as")
+    print("bursts intensify it backs off (falling mean degree) — static")
+    print("fixed-4 has no such recourse and its tail explodes first.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Open-loop vs closed-loop load generation near saturation.
+
+The paper evaluates with open-loop (Poisson) arrivals — the right model
+for a server behind millions of independent users: arrivals do not slow
+down when the server does, so past saturation the queue and the latency
+grow without bound. Closed-loop load generators (a fixed client pool)
+self-throttle instead: each client waits for its response, so the system
+pins at ~100% utilization with finite latency. Benchmarking a policy
+with the wrong loop model can hide exactly the failure mode that matters.
+
+This example pushes both loops past sequential saturation with the
+fixed-4 policy (whose work inflation makes it saturate early) and with
+adaptive (which doesn't).
+
+Run:  python examples/open_vs_closed_loop.py
+"""
+
+from repro.core import AdaptiveSearchSystem, SystemConfig
+from repro.sim.closedloop import ClosedLoopConfig, run_closed_loop_point
+from repro.util.tables import Table
+from repro.workloads import WorkbenchConfig, build_workbench
+
+POLICIES = ("fixed-4", "adaptive")
+UTILIZATION = 0.9  # past fixed-4's capacity, below sequential's
+
+
+def main() -> None:
+    print("Building and profiling the workbench...")
+    workbench = build_workbench(WorkbenchConfig.small(seed=9))
+    system = AdaptiveSearchSystem.from_workbench(
+        workbench, SystemConfig(n_queries=300)
+    )
+    rate = system.rate_for_utilization(UTILIZATION)
+    mean_t1 = system.oracle.mean_sequential_latency()
+
+    # A client pool sized to offer roughly the same throughput when the
+    # server keeps up: N ≈ rate x (think + service).
+    think = 4.0 * mean_t1
+    n_clients = max(1, round(rate * (think + mean_t1)))
+    print(f"target load u={UTILIZATION} ({rate:,.0f} QPS); "
+          f"closed loop: {n_clients} clients, think {think*1e3:.2f} ms\n")
+
+    table = Table(
+        ["policy", "loop", "throughput (QPS)", "utilization",
+         "mean latency (ms)", "P99 latency (ms)"],
+        title="Open vs closed loop at the same offered load",
+    )
+    for policy in POLICIES:
+        open_summary = system.run_point(policy, rate, duration=6.0, warmup=1.5)
+        table.add_row(
+            [policy, "open", open_summary.throughput, open_summary.utilization,
+             open_summary.mean_latency * 1e3, open_summary.p99_latency * 1e3]
+        )
+        closed_summary = run_closed_loop_point(
+            system.oracle,
+            system.policy(policy),
+            ClosedLoopConfig(
+                n_clients=n_clients, think_time=think, duration=6.0,
+                warmup=1.5, n_cores=system.n_cores, seed=13,
+            ),
+        )
+        table.add_row(
+            [policy, "closed", closed_summary.throughput,
+             closed_summary.utilization,
+             closed_summary.mean_latency * 1e3,
+             closed_summary.p99_latency * 1e3]
+        )
+    table.print()
+
+    print("Under the open loop, fixed-4's latency explodes (offered load")
+    print("exceeds its inflated-work capacity) while adaptive stays flat.")
+    print("Under the closed loop the same overload shows up as *lost")
+    print("throughput* and moderated latency — the clients are stuck")
+    print("waiting, so the catastrophe is hidden from the latency axis.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Write your own parallelism policy and race it against the built-ins.
+
+Demonstrates the policy plug-in surface: subclass
+:class:`repro.policies.ParallelismPolicy`, implement ``choose_degree``,
+and hand it to the simulator. Two custom policies are included:
+
+* ``FreeCoresPolicy`` — grab all currently idle cores. Tempting, but a
+  trap: each query monopolizes the machine, serializing execution into a
+  convoy, and on the many *short* queries wide parallelism has speedup
+  below 1 — so effective capacity collapses even at low load;
+* ``UtilizationEwmaPolicy`` — smooth the in-system count with an EWMA
+  before thresholding, trading reactivity for stability.
+
+Run:  python examples/policy_playground.py
+"""
+
+from repro.core import AdaptiveSearchSystem, SystemConfig
+from repro.policies import ParallelismPolicy, QueryInfo, SystemState
+from repro.sim.experiment import LoadPointConfig, run_load_point
+from repro.util.tables import Table
+from repro.workloads import WorkbenchConfig, build_workbench
+
+
+class FreeCoresPolicy(ParallelismPolicy):
+    """Use every idle core for each arriving query."""
+
+    name = "free-cores"
+
+    def choose_degree(self, state: SystemState, info: QueryInfo) -> int:
+        return max(1, state.free_cores)
+
+
+class UtilizationEwmaPolicy(ParallelismPolicy):
+    """Adaptive thresholds applied to an EWMA of queries-in-system."""
+
+    name = "ewma-adaptive"
+
+    def __init__(self, table, alpha: float = 0.2) -> None:
+        self.table = table
+        self.alpha = alpha
+        self._smoothed = 1.0
+
+    def choose_degree(self, state: SystemState, info: QueryInfo) -> int:
+        self._smoothed = (
+            self.alpha * state.n_in_system + (1 - self.alpha) * self._smoothed
+        )
+        return self.table.degree_for(max(1, round(self._smoothed)))
+
+
+def main() -> None:
+    print("Building and profiling the workbench...")
+    workbench = build_workbench(WorkbenchConfig.small(seed=5))
+    system = AdaptiveSearchSystem.from_workbench(
+        workbench, SystemConfig(n_queries=300)
+    )
+
+    contenders = [
+        system.policy("sequential"),
+        system.policy("adaptive"),
+        FreeCoresPolicy(),
+        UtilizationEwmaPolicy(system.threshold_table),
+    ]
+
+    utilizations = (0.1, 0.4, 0.7)
+    table = Table(
+        ["utilization"] + [p.name for p in contenders],
+        title="P99 latency (ms): custom policies vs built-ins",
+    )
+    for i, u in enumerate(utilizations):
+        rate = system.rate_for_utilization(u)
+        row = [u]
+        for policy in contenders:
+            summary = run_load_point(
+                system.oracle,
+                policy,
+                LoadPointConfig(rate=rate, duration=5.0, warmup=1.0,
+                                n_cores=system.n_cores, seed=60 + i),
+            )
+            row.append(summary.p99_latency * 1e3)
+        table.add_row(row)
+    table.print()
+
+    print("free-cores melts down at every load: it serializes the machine")
+    print("into one convoy of maximally-wide queries, and wide execution of")
+    print("short queries has speedup < 1 — idle cores at dispatch time say")
+    print("nothing about the queue forming behind. EWMA-adaptive tracks the")
+    print("threshold policy, trading a little reactivity for stability.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Index and search your own documents (the adoption path).
+
+Everything else in this repository runs on the synthetic corpus the
+experiments need; this example shows the same engine serving real text:
+ingest (text, static-rank) pairs, build the index, parse query strings,
+and execute them — sequentially and in parallel.
+
+Run:  python examples/search_your_docs.py
+"""
+
+from repro.corpus.ingest import ingest_documents, parse_query
+from repro.engine import Engine, EngineConfig
+from repro.index import IndexConfig, build_index
+
+# A miniature "web": (text, static rank). Rank plays the PageRank role —
+# higher-ranked pages are laid out first and win score ties.
+PAGES = [
+    ("Adaptive parallelism for web search cuts tail latency by choosing "
+     "each query's degree of parallelism from the instantaneous load", 0.95),
+    ("Index serving nodes hold an inverted index in memory and return "
+     "the top k documents for every query", 0.90),
+    ("Sequential query execution maximizes throughput but leaves long "
+     "queries slow at low load", 0.70),
+    ("Fixed parallelism wastes capacity because parallel execution of a "
+     "query inflates its total work", 0.65),
+    ("Early termination stops scanning once enough good matches are "
+     "found in static rank order", 0.80),
+    ("Tail latency service level objectives drive datacenter capacity "
+     "planning for interactive services", 0.55),
+    ("Work stealing balances dynamic chunks of the document space "
+     "across worker threads", 0.50),
+    ("A latency predictor can decide which queries deserve parallel "
+     "execution", 0.45),
+]
+
+QUERIES = [
+    "tail latency",
+    "parallelism query execution",
+    "inverted index memory",
+    "static rank order",
+]
+
+
+def main() -> None:
+    corpus, vocabulary = ingest_documents(PAGES)
+    index = build_index(corpus, IndexConfig(chunk_size=4))
+    engine = Engine(index, EngineConfig(max_degree=4))
+    print(f"indexed {corpus.n_docs} documents, "
+          f"{len(vocabulary)} distinct terms\n")
+
+    for text in QUERIES:
+        query = parse_query(text, vocabulary, k=3)
+        result = engine.execute(query, degree=2)
+        assert result.doc_ids == engine.execute(query, degree=1).doc_ids
+        print(f"query: {text!r}  (parsed to {query.n_terms} terms)")
+        if result.n_results == 0:
+            print("   no conjunctive matches")
+        for ranked in result.results:
+            snippet = PAGES_BY_RANK[ranked.doc_id][:68]
+            print(f"   #{ranked.rank} score {ranked.score:.3f}  {snippet}...")
+        print()
+
+    print("Parallel degree 2 returned identical results to sequential for")
+    print("every query above — the executors share exact semantics; only")
+    print("the (virtual) time differs.")
+
+
+# Rebuild the id -> text mapping the way ingestion ordered documents
+# (descending static rank, stable).
+PAGES_BY_RANK = [
+    text for text, _ in sorted(PAGES, key=lambda p: -p[1])
+]
+
+
+if __name__ == "__main__":
+    main()

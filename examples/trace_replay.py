@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Diurnal trace replay: adaptive parallelism over a synthetic 'day'.
+
+Generates a timestamped workload trace whose arrival rate follows a
+sinusoidal day/night pattern (trough ≈ 10% utilization, peak ≈ 60%),
+saves it to JSONL, reloads it, and replays the *identical* stream under
+the sequential and adaptive policies. The windowed report shows the
+adaptive policy widening parallelism in the night trough (big tail-
+latency cuts) and folding back to near-sequential at the daily peak.
+
+Run:  python examples/trace_replay.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import AdaptiveSearchSystem, SystemConfig
+from repro.sim.arrivals import diurnal_arrivals
+from repro.sim.experiment import run_trace_point
+from repro.util.rng import RngFactory
+from repro.util.tables import Table
+from repro.workloads import WorkbenchConfig, build_workbench
+from repro.workloads.trace import WorkloadTrace
+
+DAY = 12.0  # simulated 'day' length in seconds
+MEAN_UTILIZATION = 0.35
+AMPLITUDE = 0.7
+
+
+def main() -> None:
+    print("Building and profiling the workbench...")
+    workbench = build_workbench(WorkbenchConfig.small(seed=4))
+    system = AdaptiveSearchSystem.from_workbench(
+        workbench, SystemConfig(n_queries=300)
+    )
+    factory = RngFactory(2024)
+
+    # --- Generate a diurnal trace over a pool of measured queries -----
+    mean_rate = system.rate_for_utilization(MEAN_UTILIZATION)
+    arrivals = diurnal_arrivals(
+        base_rate=mean_rate, amplitude=AMPLITUDE, period=DAY,
+        rng=factory.stream("arrivals"),
+        phase=-np.pi / 2,  # start the day at the trough
+    )
+    trace = WorkloadTrace.generate(
+        workbench.query_generator("trace"), arrivals, horizon=DAY
+    )
+    print(f"trace: {len(trace)} queries over {trace.horizon:.1f}s "
+          f"(mean {trace.mean_rate:,.0f} QPS)")
+
+    # --- Save / reload (JSONL round trip) ------------------------------
+    path = Path(tempfile.gettempdir()) / "repro_diurnal_trace.jsonl"
+    trace.save(path)
+    trace = WorkloadTrace.load(path)
+    print(f"saved and reloaded {path}\n")
+
+    # --- Replay the identical stream under both policies ---------------
+    # Trace queries are mapped onto the measured pool by sampling indices
+    # (real traces repeat queries; the pool is the measured cost table).
+    pool_rng = factory.stream("pool")
+    indices = pool_rng.integers(system.oracle.n_queries, size=len(trace))
+
+    window = DAY / 6.0
+    table = Table(
+        ["window (s)", "arrivals/s", "seq P99 (ms)", "adaptive P99 (ms)",
+         "P99 cut", "adaptive mean degree"],
+        title="Windowed replay over the 'day'",
+    )
+    results = {}
+    for policy in ("sequential", "adaptive"):
+        _, records = run_trace_point(
+            system.oracle, system.policy(policy), trace.times,
+            query_indices=indices, n_cores=system.n_cores,
+        )
+        results[policy] = records
+
+    for w in range(int(DAY / window)):
+        lo, hi = w * window, (w + 1) * window
+        row = [f"{lo:.0f}-{hi:.0f}"]
+        in_window = (trace.times >= lo) & (trace.times < hi)
+        row.append(float(in_window.sum()) / window)
+        cells = {}
+        for policy in ("sequential", "adaptive"):
+            lats = [r.latency for r in results[policy] if lo <= r.arrival < hi]
+            cells[policy] = np.percentile(lats, 99) if lats else float("nan")
+        row.append(cells["sequential"] * 1e3)
+        row.append(cells["adaptive"] * 1e3)
+        row.append(1.0 - cells["adaptive"] / cells["sequential"])
+        degrees = [r.degree for r in results["adaptive"] if lo <= r.arrival < hi]
+        row.append(float(np.mean(degrees)) if degrees else float("nan"))
+        table.add_row(row)
+    table.print()
+
+    print("The adaptive column's mean degree follows the inverse of the")
+    print("load curve: wide at the trough, near 1 at the peak — exactly")
+    print("the behaviour that lets one configuration serve the whole day.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""repro — Reproduction of "Adaptive Parallelism for Web Search" (EuroSys 2013).
+
+The library builds, from scratch, everything the paper's evaluation
+stands on:
+
+* a synthetic web corpus and an in-memory inverted index laid out in
+  static-rank order (:mod:`repro.corpus`, :mod:`repro.index`);
+* a query-execution engine with conjunctive matching, BM25+static-rank
+  scoring, early termination, and chunk-level intra-query parallelism
+  measured in deterministic virtual time (:mod:`repro.engine`);
+* speedup/service-time profiling (:mod:`repro.profiles`);
+* the paper's adaptive parallelism policy, its baselines, and extensions
+  (:mod:`repro.policies`);
+* a discrete-event multicore ISN simulator (:mod:`repro.sim`);
+* analysis and queueing-theory validation (:mod:`repro.analysis`);
+* the experiment harness regenerating every table/figure
+  (:mod:`repro.harness`).
+
+Quickstart::
+
+    from repro import quickstart_workbench
+    wb = quickstart_workbench()
+    result = wb.engine.execute(wb.query_generator().sample(), degree=4)
+"""
+
+from repro.core import AdaptiveSearchSystem, SystemConfig
+from repro.corpus import CorpusConfig, generate_corpus
+from repro.engine import Engine, EngineConfig, ExecutionResult, Query
+from repro.index import IndexConfig, build_index
+from repro.policies import (
+    AdaptivePolicy,
+    FixedPolicy,
+    SequentialPolicy,
+    ThresholdTable,
+    derive_threshold_table,
+)
+from repro.profiles import (
+    MeasurementConfig,
+    QueryCostTable,
+    ServiceTimeDistribution,
+    SpeedupProfile,
+    measure_cost_table,
+)
+from repro.sim import LoadPointConfig, ServiceOracle, run_load_point
+from repro.workloads import (
+    QueryGenerator,
+    QueryWorkloadConfig,
+    Workbench,
+    WorkbenchConfig,
+    build_workbench,
+)
+
+__version__ = "1.0.0"
+
+
+def quickstart_workbench(seed: int = 0) -> Workbench:
+    """A small, fast workbench for experimentation and docs examples."""
+    return build_workbench(WorkbenchConfig.small(seed))
+
+
+__all__ = [
+    "AdaptiveSearchSystem",
+    "SystemConfig",
+    "CorpusConfig",
+    "generate_corpus",
+    "Engine",
+    "EngineConfig",
+    "ExecutionResult",
+    "Query",
+    "IndexConfig",
+    "build_index",
+    "AdaptivePolicy",
+    "FixedPolicy",
+    "SequentialPolicy",
+    "ThresholdTable",
+    "derive_threshold_table",
+    "MeasurementConfig",
+    "QueryCostTable",
+    "ServiceTimeDistribution",
+    "SpeedupProfile",
+    "measure_cost_table",
+    "LoadPointConfig",
+    "ServiceOracle",
+    "run_load_point",
+    "QueryGenerator",
+    "QueryWorkloadConfig",
+    "Workbench",
+    "WorkbenchConfig",
+    "build_workbench",
+    "quickstart_workbench",
+    "__version__",
+]

@@ -1,0 +1,129 @@
+"""Bootstrap confidence intervals for latency statistics.
+
+Percentile statistics of heavy-tailed latency samples are themselves
+noisy; the harness uses nonparametric bootstrap CIs to state, e.g., that
+an adaptive-vs-sequential P99 difference is outside sampling noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.util.validation import require_in_range, require_int_in_range
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided bootstrap interval around a point estimate."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return (
+            f"{self.estimate:.6g} "
+            f"[{self.low:.6g}, {self.high:.6g}] @{self.confidence:.0%}"
+        )
+
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    statistic: Callable[[np.ndarray], float],
+    n_resamples: int = 1_000,
+    confidence: float = 0.95,
+    rng: Optional[np.random.Generator] = None,
+) -> ConfidenceInterval:
+    """Percentile-method bootstrap CI for an arbitrary statistic."""
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.ndim != 1 or arr.size < 2:
+        raise AnalysisError("need a 1-D sample with at least 2 observations")
+    require_int_in_range(n_resamples, "n_resamples", low=10)
+    require_in_range(confidence, "confidence", low=0.5, high=0.9999)
+    rng = rng or np.random.default_rng(0)
+
+    estimates = np.empty(n_resamples, dtype=np.float64)
+    n = arr.size
+    for i in range(n_resamples):
+        estimates[i] = statistic(arr[rng.integers(0, n, size=n)])
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.percentile(estimates, [100 * alpha, 100 * (1 - alpha)])
+    return ConfidenceInterval(
+        estimate=float(statistic(arr)),
+        low=float(low),
+        high=float(high),
+        confidence=confidence,
+    )
+
+
+def percentile_ci(
+    samples: Sequence[float],
+    q: float,
+    n_resamples: int = 1_000,
+    confidence: float = 0.95,
+    rng: Optional[np.random.Generator] = None,
+) -> ConfidenceInterval:
+    """Bootstrap CI for the q-th percentile (q in [0, 100])."""
+    require_in_range(q, "q", low=0.0, high=100.0)
+    return bootstrap_ci(
+        samples,
+        lambda arr: float(np.percentile(arr, q)),
+        n_resamples=n_resamples,
+        confidence=confidence,
+        rng=rng,
+    )
+
+
+def mean_ci(
+    samples: Sequence[float],
+    n_resamples: int = 1_000,
+    confidence: float = 0.95,
+    rng: Optional[np.random.Generator] = None,
+) -> ConfidenceInterval:
+    """Bootstrap CI for the sample mean."""
+    return bootstrap_ci(
+        samples,
+        lambda arr: float(arr.mean()),
+        n_resamples=n_resamples,
+        confidence=confidence,
+        rng=rng,
+    )
+
+
+def difference_significant(
+    a: Sequence[float],
+    b: Sequence[float],
+    statistic: Callable[[np.ndarray], float],
+    n_resamples: int = 1_000,
+    confidence: float = 0.95,
+    rng: Optional[np.random.Generator] = None,
+) -> bool:
+    """True when the bootstrap CI of statistic(a) − statistic(b) excludes 0.
+
+    Samples are resampled independently (unpaired comparison).
+    """
+    arr_a = np.asarray(a, dtype=np.float64)
+    arr_b = np.asarray(b, dtype=np.float64)
+    if arr_a.size < 2 or arr_b.size < 2:
+        raise AnalysisError("both samples need at least 2 observations")
+    rng = rng or np.random.default_rng(0)
+    diffs = np.empty(n_resamples, dtype=np.float64)
+    for i in range(n_resamples):
+        resample_a = arr_a[rng.integers(0, arr_a.size, size=arr_a.size)]
+        resample_b = arr_b[rng.integers(0, arr_b.size, size=arr_b.size)]
+        diffs[i] = statistic(resample_a) - statistic(resample_b)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.percentile(diffs, [100 * alpha, 100 * (1 - alpha)])
+    return not (low <= 0.0 <= high)

@@ -1,0 +1,70 @@
+"""Distribution utilities: ECDF, histograms, lognormal fits."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.util.validation import require_int_in_range
+
+
+def ecdf(samples: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns (sorted x, F(x)) with F in (0, 1]."""
+    arr = np.sort(np.asarray(samples, dtype=np.float64))
+    if arr.size == 0:
+        raise AnalysisError("ecdf of an empty sample")
+    fractions = np.arange(1, arr.size + 1, dtype=np.float64) / arr.size
+    return arr, fractions
+
+
+def histogram(
+    samples: Sequence[float], bins: int = 20, log_bins: bool = False
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Histogram densities; ``log_bins`` uses log-spaced edges (for
+    heavy-tailed service times)."""
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.size == 0:
+        raise AnalysisError("histogram of an empty sample")
+    require_int_in_range(bins, "bins", low=1)
+    if log_bins:
+        positive = arr[arr > 0]
+        if positive.size == 0:
+            raise AnalysisError("log-binned histogram needs positive samples")
+        edges = np.logspace(
+            np.log10(positive.min()), np.log10(positive.max()), bins + 1
+        )
+        counts, edges = np.histogram(positive, bins=edges)
+    else:
+        counts, edges = np.histogram(arr, bins=bins)
+    return counts.astype(np.int64), edges
+
+
+def lognormal_mle(samples: Sequence[float]) -> Tuple[float, float]:
+    """MLE (mu, sigma) of a lognormal for a positive sample."""
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.size == 0 or np.any(arr <= 0):
+        raise AnalysisError("lognormal fit requires a non-empty positive sample")
+    logs = np.log(arr)
+    sigma = float(logs.std(ddof=1)) if arr.size > 1 else 0.0
+    return float(logs.mean()), sigma
+
+
+def tail_index_hill(samples: Sequence[float], tail_fraction: float = 0.1) -> float:
+    """Hill estimator of the tail index over the top ``tail_fraction``.
+
+    Smaller values mean heavier tails; values <= 2 indicate infinite
+    variance. Used descriptively in the workload characterization.
+    """
+    arr = np.sort(np.asarray(samples, dtype=np.float64))
+    if arr.size < 10:
+        raise AnalysisError("Hill estimator needs at least 10 samples")
+    if not 0.0 < tail_fraction < 1.0:
+        raise AnalysisError("tail_fraction must be in (0, 1)")
+    k = max(2, int(arr.size * tail_fraction))
+    tail = arr[-k:]
+    if tail[0] <= 0:
+        raise AnalysisError("Hill estimator requires positive tail samples")
+    logs = np.log(tail)
+    return 1.0 / float((logs[1:] - logs[0]).mean()) if k > 1 else float("inf")

@@ -1,0 +1,126 @@
+"""Percentile estimation: exact and streaming.
+
+``exact_percentile`` wraps numpy with input validation; the
+:class:`P2QuantileEstimator` implements the classic P² algorithm (Jain &
+Chlamtac, 1985) for O(1)-memory streaming quantiles — useful for
+long simulations where retaining every latency sample is wasteful. Tests
+check it against the exact estimator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.util.validation import require_in_range
+
+
+def exact_percentile(samples: Sequence[float], q: float) -> float:
+    """Exact percentile (linear interpolation), q in [0, 100]."""
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.size == 0:
+        raise AnalysisError("cannot take a percentile of an empty sample")
+    require_in_range(q, "q", low=0.0, high=100.0)
+    return float(np.percentile(arr, q))
+
+
+class P2QuantileEstimator:
+    """Streaming quantile via the P² algorithm (five markers, O(1) memory)."""
+
+    def __init__(self, quantile: float) -> None:
+        require_in_range(
+            quantile, "quantile", low=0.0, high=1.0,
+            low_inclusive=False, high_inclusive=False,
+        )
+        self.quantile = float(quantile)
+        self._initial: List[float] = []
+        self._count = 0
+        # Marker state, established after the first five observations.
+        self._heights: List[float] = []
+        self._positions: List[float] = []
+        self._desired: List[float] = []
+        self._increments: List[float] = []
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def add(self, value: float) -> None:
+        """Observe one sample."""
+        value = float(value)
+        self._count += 1
+        if self._count <= 5:
+            self._initial.append(value)
+            if self._count == 5:
+                self._initialize()
+            return
+        self._update(value)
+
+    def add_many(self, values: Sequence[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def _initialize(self) -> None:
+        q = self.quantile
+        self._heights = sorted(self._initial)
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    def _update(self, value: float) -> None:
+        heights, positions = self._heights, self._positions
+        # Locate the cell containing the new observation; extend extremes.
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while value >= heights[cell + 1]:
+                cell += 1
+        for i in range(cell + 1, 5):
+            positions[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+        # Adjust the three interior markers toward their desired positions.
+        for i in (1, 2, 3):
+            delta = self._desired[i] - positions[i]
+            if (delta >= 1.0 and positions[i + 1] - positions[i] > 1.0) or (
+                delta <= -1.0 and positions[i - 1] - positions[i] < -1.0
+            ):
+                direction = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(i, direction)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, direction)
+                positions[i] += direction
+
+    def _parabolic(self, i: int, direction: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + direction / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + direction)
+            * (h[i + 1] - h[i])
+            / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - direction)
+            * (h[i] - h[i - 1])
+            / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, direction: float) -> float:
+        h, n = self._heights, self._positions
+        j = i + int(direction)
+        return h[i] + direction * (h[j] - h[i]) / (n[j] - n[i])
+
+    def value(self) -> float:
+        """Current quantile estimate."""
+        if self._count == 0:
+            raise AnalysisError("no samples observed")
+        if self._count <= 5:
+            # Fall back to the exact small-sample quantile.
+            return exact_percentile(self._initial, self.quantile * 100.0)
+        return self._heights[2]

@@ -1,0 +1,110 @@
+"""Command-line entry point: ``python -m repro <experiment-id> [...]``.
+
+Examples::
+
+    python -m repro e06                 # run the headline experiment
+    python -m repro --all               # run every experiment
+    python -m repro e05 --scale small   # quick run at unit-test scale
+    python -m repro --list              # list experiment ids
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.harness.context import ExperimentContext, Scale
+from repro.harness.registry import EXPERIMENTS, TITLES, run_experiment
+from repro.util.serde import dump_json
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate the evaluation of 'Adaptive Parallelism for Web "
+            "Search' (EuroSys 2013)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids to run (e01..e11)",
+    )
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--scale",
+        choices=[s.value for s in Scale],
+        default=None,
+        help="experiment scale (default: REPRO_SCALE env var or 'reference')",
+    )
+    parser.add_argument(
+        "--json-dir",
+        type=Path,
+        default=None,
+        help="directory to write per-experiment JSON results",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root seed")
+    parser.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        help="write a consolidated markdown report (requires --json-dir)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list:
+        for experiment_id in sorted(EXPERIMENTS):
+            print(f"{experiment_id}  {TITLES[experiment_id]}")
+        return 0
+
+    ids = sorted(EXPERIMENTS) if args.all else [e.lower() for e in args.experiments]
+    if not ids:
+        print("nothing to run; pass experiment ids, --all, or --list",
+              file=sys.stderr)
+        return 2
+    unknown = [e for e in ids if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    scale = Scale(args.scale) if args.scale else None
+    ctx = ExperimentContext(scale=scale, seed=args.seed)
+    print(f"context: {ctx}\n")
+
+    failed_checks = 0
+    for experiment_id in ids:
+        start = time.time()
+        result = run_experiment(experiment_id, ctx)
+        elapsed = time.time() - start
+        print(result.render())
+        print(f"({experiment_id} took {elapsed:.1f}s)\n")
+        if args.json_dir is not None:
+            dump_json(result.to_json(), args.json_dir / f"{experiment_id}.json")
+        failed_checks += sum(1 for check in result.checks if not check.passed)
+
+    if args.report is not None:
+        if args.json_dir is None:
+            print("--report requires --json-dir", file=sys.stderr)
+            return 2
+        from repro.harness.report import generate_report
+
+        generate_report(args.json_dir, args.report)
+        print(f"report written to {args.report}")
+
+    if failed_checks:
+        print(f"{failed_checks} shape check(s) FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Simulation-based refinement of the adaptive threshold table.
+
+The analytic derivation (:mod:`repro.policies.derivation`) ignores
+queueing dynamics; the paper tunes its thresholds against the real
+system. :func:`calibrate_threshold_scale` reproduces that step in
+simulation: it scales every load limit in the table by candidate
+factors, measures P99 regret against the fixed-policy envelope across a
+load sweep, and keeps the factor with the smallest mean regret.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.analysis.compare import PolicyComparison
+from repro.core.controller import AdaptiveSearchSystem
+from repro.policies.adaptive import AdaptivePolicy, ThresholdTable
+from repro.policies.derivation import scale_table
+from repro.sim.experiment import LoadPointConfig, run_load_point
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of the threshold calibration sweep."""
+
+    best_factor: float
+    best_table: ThresholdTable
+    mean_regret_by_factor: Dict[float, float]
+
+
+def calibrate_threshold_scale(
+    system: AdaptiveSearchSystem,
+    factors: Sequence[float] = (0.5, 0.75, 1.0, 1.5, 2.0),
+    utilizations: Sequence[float] = (0.1, 0.3, 0.5, 0.7),
+    envelope_policies: Sequence[str] = ("sequential", "fixed-4", "fixed-8"),
+    duration: float = 12.0,
+    warmup: float = 3.0,
+    seed: int = 11,
+) -> CalibrationResult:
+    """Grid-search the threshold scale factor against the envelope."""
+    require(len(factors) > 0, "factors must not be empty")
+    require(len(utilizations) > 1, "need at least two load points")
+
+    rates = [system.rate_for_utilization(u) for u in utilizations]
+
+    # Envelope from the baseline policies (shared across factors).
+    summaries = {}
+    for name in envelope_policies:
+        policy = system.policy(name)
+        rows = []
+        for i, rate in enumerate(rates):
+            config = LoadPointConfig(
+                rate=rate, duration=duration, warmup=warmup,
+                n_cores=system.n_cores, seed=seed + i,
+            )
+            rows.append(run_load_point(system.oracle, policy, config))
+        summaries[policy.name] = rows
+
+    envelope = PolicyComparison(rates=list(rates), summaries=dict(summaries))
+    envelope_p99 = envelope.envelope_p99(list(summaries))
+
+    regret_by_factor: Dict[float, float] = {}
+    best_factor, best_regret = None, float("inf")
+    for factor in factors:
+        table = scale_table(system.threshold_table, factor)
+        policy = AdaptivePolicy(table)
+        p99s = []
+        for i, rate in enumerate(rates):
+            config = LoadPointConfig(
+                rate=rate, duration=duration, warmup=warmup,
+                n_cores=system.n_cores, seed=seed + i,
+            )
+            p99s.append(run_load_point(system.oracle, policy, config).p99_latency)
+        regret = float(np.mean(np.asarray(p99s) / envelope_p99 - 1.0))
+        regret_by_factor[float(factor)] = regret
+        if regret < best_regret:
+            best_factor, best_regret = float(factor), regret
+
+    return CalibrationResult(
+        best_factor=best_factor,
+        best_table=scale_table(system.threshold_table, best_factor),
+        mean_regret_by_factor=regret_by_factor,
+    )

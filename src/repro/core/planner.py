@@ -1,0 +1,141 @@
+"""Deployment planning: pick a parallelism policy for an SLO and a load
+profile.
+
+The operator-facing question the paper's machinery ultimately answers:
+*given my tail-latency SLO and my daily load shape, how should I
+configure intra-query parallelism, and what headroom do I have?*
+:func:`plan_deployment` evaluates candidate policies against every load
+level in the profile (plus an SLO-capacity solve), reports per-policy
+feasibility, and recommends the policy with the lowest worst-hour P99
+among those meeting the SLO at every hour — falling back to the most
+SLO-compliant one if none fully qualifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.capacity import capacity_at_slo
+from repro.core.controller import AdaptiveSearchSystem
+from repro.util.tables import Table
+from repro.util.validation import require, require_positive
+
+DEFAULT_CANDIDATES = ("sequential", "fixed-2", "fixed-4", "adaptive")
+
+
+@dataclass(frozen=True)
+class PolicyAssessment:
+    """How one candidate policy fares against the profile and SLO."""
+
+    policy: str
+    hourly_p99: Tuple[float, ...]
+    hours_meeting_slo: int
+    worst_p99: float
+    mean_p99: float
+    capacity_qps: float
+    headroom: float  # capacity / peak offered rate
+
+    @property
+    def fully_compliant(self) -> bool:
+        return self.hours_meeting_slo == len(self.hourly_p99)
+
+
+@dataclass(frozen=True)
+class DeploymentPlan:
+    """Planner output: per-policy assessments and a recommendation."""
+
+    slo: float
+    load_profile: Tuple[float, ...]
+    assessments: Dict[str, PolicyAssessment]
+    recommended: str
+
+    def to_table(self) -> Table:
+        table = Table(
+            ["policy", "worst-hour P99 (ms)", "mean P99 (ms)",
+             "hours meeting SLO", "capacity (QPS)", "headroom"],
+            title=f"Deployment plan (SLO = {self.slo * 1e3:.1f} ms)",
+        )
+        for name, assessment in self.assessments.items():
+            marker = " *" if name == self.recommended else ""
+            table.add_row(
+                [
+                    name + marker,
+                    assessment.worst_p99 * 1e3,
+                    assessment.mean_p99 * 1e3,
+                    f"{assessment.hours_meeting_slo}/{len(self.load_profile)}",
+                    assessment.capacity_qps,
+                    assessment.headroom,
+                ]
+            )
+        return table
+
+
+def plan_deployment(
+    system: AdaptiveSearchSystem,
+    slo: float,
+    load_profile: Sequence[float],
+    candidates: Sequence[str] = DEFAULT_CANDIDATES,
+    duration: float = 8.0,
+    warmup: float = 2.0,
+    seed: int = 23,
+) -> DeploymentPlan:
+    """Evaluate candidate policies against an SLO and a load profile.
+
+    ``load_profile`` is a sequence of utilization levels (fractions of
+    sequential saturation), e.g. 24 hourly values of a diurnal day.
+    """
+    require_positive(slo, "slo")
+    require(len(load_profile) > 0, "load_profile must not be empty")
+    require(len(candidates) > 0, "candidates must not be empty")
+    for u in load_profile:
+        require_positive(float(u), "load_profile entry")
+
+    peak_rate = system.rate_for_utilization(max(load_profile))
+    distinct_loads = sorted(set(float(u) for u in load_profile))
+
+    assessments: Dict[str, PolicyAssessment] = {}
+    for name in candidates:
+        # Evaluate each *distinct* load once, then map back to hours.
+        p99_by_load: Dict[float, float] = {}
+        for i, u in enumerate(distinct_loads):
+            summary = system.run_point(
+                name,
+                system.rate_for_utilization(u),
+                duration=duration,
+                warmup=warmup,
+                seed=seed + i,
+            )
+            p99_by_load[u] = summary.p99_latency
+        hourly = tuple(p99_by_load[float(u)] for u in load_profile)
+        capacity = capacity_at_slo(
+            system, name, slo,
+            duration=duration / 2, warmup=warmup / 2, seed=seed,
+        )
+        assessments[name] = PolicyAssessment(
+            policy=name,
+            hourly_p99=hourly,
+            hours_meeting_slo=int(sum(p <= slo for p in hourly)),
+            worst_p99=float(max(hourly)),
+            mean_p99=float(np.mean(hourly)),
+            capacity_qps=capacity.capacity_qps,
+            headroom=capacity.capacity_qps / peak_rate if peak_rate else 0.0,
+        )
+
+    compliant = [a for a in assessments.values() if a.fully_compliant]
+    if compliant:
+        recommended = min(compliant, key=lambda a: a.worst_p99).policy
+    else:
+        recommended = max(
+            assessments.values(),
+            key=lambda a: (a.hours_meeting_slo, -a.worst_p99),
+        ).policy
+
+    return DeploymentPlan(
+        slo=float(slo),
+        load_profile=tuple(float(u) for u in load_profile),
+        assessments=assessments,
+        recommended=recommended,
+    )

@@ -1,0 +1,14 @@
+"""Synthetic web corpus: documents, generator, statistics."""
+
+from repro.corpus.documents import Corpus, Document
+from repro.corpus.generator import CorpusConfig, generate_corpus
+from repro.corpus.stats import CorpusStats, corpus_stats
+
+__all__ = [
+    "Corpus",
+    "Document",
+    "CorpusConfig",
+    "generate_corpus",
+    "CorpusStats",
+    "corpus_stats",
+]

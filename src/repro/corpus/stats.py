@@ -1,0 +1,73 @@
+"""Corpus summary statistics (used by experiment E1's characteristics table)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.documents import Corpus
+from repro.util.tables import Table
+
+
+@dataclass(frozen=True)
+class CorpusStats:
+    """Summary statistics of a corpus shard."""
+
+    n_docs: int
+    vocab_size: int
+    n_postings: int
+    total_tokens: int
+    mean_doc_length: float
+    median_doc_length: float
+    p99_doc_length: float
+    mean_unique_terms: float
+    max_posting_list: int
+    mean_posting_list: float
+    median_posting_list: float
+    top10_posting_share: float
+    mean_static_rank: float
+
+    def to_table(self) -> Table:
+        table = Table(["metric", "value"], title="Corpus characteristics")
+        table.add_row(["documents", self.n_docs])
+        table.add_row(["vocabulary size", self.vocab_size])
+        table.add_row(["postings (doc,term pairs)", self.n_postings])
+        table.add_row(["total tokens", self.total_tokens])
+        table.add_row(["mean doc length", self.mean_doc_length])
+        table.add_row(["median doc length", self.median_doc_length])
+        table.add_row(["p99 doc length", self.p99_doc_length])
+        table.add_row(["mean unique terms/doc", self.mean_unique_terms])
+        table.add_row(["longest posting list", self.max_posting_list])
+        table.add_row(["mean posting list", self.mean_posting_list])
+        table.add_row(["median posting list", self.median_posting_list])
+        table.add_row(["top-10-term posting share", self.top10_posting_share])
+        table.add_row(["mean static rank", self.mean_static_rank])
+        return table
+
+
+def corpus_stats(corpus: Corpus) -> CorpusStats:
+    """Compute :class:`CorpusStats` for ``corpus``."""
+    df = corpus.document_frequencies()
+    nonzero_df = df[df > 0]
+    unique_per_doc = np.diff(corpus.offsets)
+    top10_share = (
+        float(np.sort(df)[::-1][:10].sum()) / float(corpus.n_postings)
+        if corpus.n_postings
+        else 0.0
+    )
+    return CorpusStats(
+        n_docs=corpus.n_docs,
+        vocab_size=corpus.vocab_size,
+        n_postings=corpus.n_postings,
+        total_tokens=corpus.total_tokens,
+        mean_doc_length=float(corpus.doc_lengths.mean()),
+        median_doc_length=float(np.median(corpus.doc_lengths)),
+        p99_doc_length=float(np.percentile(corpus.doc_lengths, 99)),
+        mean_unique_terms=float(unique_per_doc.mean()),
+        max_posting_list=int(df.max()) if df.size else 0,
+        mean_posting_list=float(nonzero_df.mean()) if nonzero_df.size else 0.0,
+        median_posting_list=float(np.median(nonzero_df)) if nonzero_df.size else 0.0,
+        top10_posting_share=top10_share,
+        mean_static_rank=float(corpus.static_ranks.mean()),
+    )

@@ -1,0 +1,200 @@
+"""Query planning: posting-list selection, candidate chunks, score bounds.
+
+A :class:`QueryPlan` is built once per (query, index) pair and captures
+everything both the sequential and the parallel executor need:
+
+* the posting lists of the query's terms;
+* the **candidate chunk list** — for conjunctive queries, only chunks in
+  which *every* term occurs can contain a match, so the executor walks
+  that (often short) list instead of the whole document space. Chunk
+  skipping is metadata-only in a real ISN, and is modeled as free here;
+* **suffix score bounds** — for each position in the candidate list, an
+  upper bound on the composite score of any document in the remaining
+  chunks. Bounds combine per-term per-chunk max impacts (suffix maxima)
+  with the static-rank prior at the chunk boundary, which is
+  non-increasing in doc id by index construction;
+* the per-chunk scorer used to produce :class:`ChunkOutcome` values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.query import MatchMode, Query
+from repro.errors import ExecutionError
+from repro.index.inverted import InvertedIndex
+from repro.index.postings import PostingList
+from repro.ranking.composite import ScoreWeights
+
+
+@dataclass(frozen=True)
+class ChunkOutcome:
+    """Result of evaluating one chunk: matches, scores, work counters."""
+
+    chunk_id: int
+    doc_ids: np.ndarray  # matched documents (ascending)
+    scores: np.ndarray  # composite scores, parallel to doc_ids
+    postings_scanned: int
+    n_matched: int
+
+    @property
+    def empty(self) -> bool:
+        return self.n_matched == 0
+
+
+class QueryPlan:
+    """Planned execution state for one query over one index."""
+
+    def __init__(
+        self,
+        query: Query,
+        index: InvertedIndex,
+        weights: Optional[ScoreWeights] = None,
+    ) -> None:
+        self.query = query
+        self.index = index
+        self.weights = weights or ScoreWeights()
+
+        found = index.lexicon.posting_lists(list(query.term_ids))
+        missing = len(query.term_ids) - len(found)
+        if query.mode is MatchMode.ALL and missing > 0:
+            # A conjunctive query with an unindexed term matches nothing.
+            self.posting_lists: List[PostingList] = []
+        else:
+            self.posting_lists = found
+
+        self.candidate_chunks = self._candidate_chunks()
+        self.bounds_from = self._suffix_bounds()
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the query can match no document at all."""
+        return self.candidate_chunks.shape[0] == 0
+
+    @property
+    def n_candidate_chunks(self) -> int:
+        return int(self.candidate_chunks.shape[0])
+
+    def _candidate_chunks(self) -> np.ndarray:
+        """Chunks that can contain a match, in document order."""
+        if not self.posting_lists:
+            return np.empty(0, dtype=np.int64)
+        chunk_sets = [plist.chunk_ids for plist in self.posting_lists]
+        if self.query.mode is MatchMode.ALL:
+            combined = reduce(np.intersect1d, chunk_sets)
+        else:
+            combined = reduce(np.union1d, chunk_sets)
+        return combined.astype(np.int64)
+
+    def _suffix_bounds(self) -> np.ndarray:
+        """``bounds_from[i]``: max composite score achievable by any doc in
+        candidate chunks ``i..end``. Length ``n_candidate_chunks + 1``; the
+        final entry is ``-inf`` (nothing remains)."""
+        n = self.n_candidate_chunks
+        bounds = np.full(n + 1, -np.inf, dtype=np.float64)
+        if n == 0:
+            return bounds
+        relevance = np.zeros(n, dtype=np.float64)
+        for plist in self.posting_lists:
+            # Max impact of this term within each candidate chunk (0 when
+            # the term is absent — possible in ANY mode only).
+            idx = np.searchsorted(plist.chunk_ids, self.candidate_chunks)
+            idx_clipped = np.minimum(idx, max(plist.chunk_ids.shape[0] - 1, 0))
+            if plist.chunk_ids.shape[0]:
+                present = plist.chunk_ids[idx_clipped] == self.candidate_chunks
+                per_chunk = np.where(present, plist.chunk_max_impact[idx_clipped], 0.0)
+            else:
+                per_chunk = np.zeros(n, dtype=np.float64)
+            # Suffix max over the candidate list, then sum across terms:
+            # any remaining doc scores at most the sum of the remaining
+            # per-term maxima.
+            relevance += np.maximum.accumulate(per_chunk[::-1])[::-1]
+        chunk_starts = self.index.chunk_map.bounds[self.candidate_chunks]
+        prior = self.index.static_ranks[chunk_starts]
+        bounds[:n] = (
+            self.weights.relevance_weight * relevance
+            + self.weights.static_weight * prior
+        )
+        return bounds
+
+    def bound_from_position(self, position: int) -> float:
+        """Upper bound on scores in candidate chunks ``position..end``."""
+        if not 0 <= position <= self.n_candidate_chunks:
+            raise ExecutionError(
+                f"position {position} outside [0, {self.n_candidate_chunks}]"
+            )
+        return float(self.bounds_from[position])
+
+    # ------------------------------------------------------------------
+    # Chunk evaluation
+    # ------------------------------------------------------------------
+
+    def score_chunk(self, position: int) -> ChunkOutcome:
+        """Evaluate the candidate chunk at ``position`` in the plan."""
+        if not 0 <= position < self.n_candidate_chunks:
+            raise ExecutionError(
+                f"position {position} outside [0, {self.n_candidate_chunks})"
+            )
+        chunk_id = int(self.candidate_chunks[position])
+        slices = [plist.chunk_slice(chunk_id) for plist in self.posting_lists]
+        postings_scanned = int(sum(ids.shape[0] for ids, _ in slices))
+
+        if self.query.mode is MatchMode.ALL:
+            doc_ids, relevance = self._intersect(slices)
+        else:
+            doc_ids, relevance = self._accumulate(slices, chunk_id)
+
+        scores = (
+            self.weights.relevance_weight * relevance
+            + self.weights.static_weight * self.index.static_ranks[doc_ids]
+            if doc_ids.shape[0]
+            else np.empty(0, dtype=np.float64)
+        )
+        return ChunkOutcome(
+            chunk_id=chunk_id,
+            doc_ids=doc_ids,
+            scores=scores,
+            postings_scanned=postings_scanned,
+            n_matched=int(doc_ids.shape[0]),
+        )
+
+    @staticmethod
+    def _intersect(
+        slices: List[Tuple[np.ndarray, np.ndarray]]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Conjunctive match: intersect doc ids, summing impacts."""
+        # Start from the shortest slice to keep the working set small.
+        order = sorted(range(len(slices)), key=lambda i: slices[i][0].shape[0])
+        base_ids, base_impacts = slices[order[0]]
+        doc_ids = base_ids
+        relevance = base_impacts.astype(np.float64, copy=True)
+        for i in order[1:]:
+            other_ids, other_impacts = slices[i]
+            if doc_ids.shape[0] == 0 or other_ids.shape[0] == 0:
+                return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+            pos = np.searchsorted(other_ids, doc_ids)
+            pos_clipped = np.minimum(pos, other_ids.shape[0] - 1)
+            present = other_ids[pos_clipped] == doc_ids
+            doc_ids = doc_ids[present]
+            relevance = relevance[present] + other_impacts[pos_clipped[present]]
+        return doc_ids, relevance
+
+    def _accumulate(
+        self, slices: List[Tuple[np.ndarray, np.ndarray]], chunk_id: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Disjunctive match: dense accumulator over the chunk's doc range."""
+        start, end = self.index.chunk_map.chunk_range(chunk_id)
+        accumulator = np.zeros(end - start, dtype=np.float64)
+        for ids, impacts in slices:
+            if ids.shape[0]:
+                accumulator[ids - start] += impacts
+        local = np.nonzero(accumulator > 0.0)[0]
+        return (local + start).astype(np.int64), accumulator[local]

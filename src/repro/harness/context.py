@@ -1,0 +1,114 @@
+"""Shared experiment context: one profiled system per scale.
+
+Building the reference shard and measuring the cost table takes tens of
+seconds; every experiment shares one cached
+:class:`~repro.core.controller.AdaptiveSearchSystem` per scale. The
+``REPRO_SCALE`` environment variable (``small`` / ``reference``)
+selects the scale globally, so CI can run the full harness quickly while
+full runs use the paper-comparable configuration.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.controller import AdaptiveSearchSystem, SystemConfig
+from repro.errors import ConfigurationError
+from repro.workloads.workbench import WorkbenchConfig, cached_workbench
+
+
+class Scale(enum.Enum):
+    """Experiment scale presets."""
+
+    SMALL = "small"
+    REFERENCE = "reference"
+
+    @staticmethod
+    def from_env(default: "Scale" = None) -> "Scale":
+        raw = os.environ.get("REPRO_SCALE")
+        if raw is None:
+            return default if default is not None else Scale.REFERENCE
+        try:
+            return Scale(raw.lower())
+        except ValueError:
+            raise ConfigurationError(
+                f"REPRO_SCALE must be 'small' or 'reference', got {raw!r}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class _ScaleParams:
+    """Per-scale knobs for experiment sizing."""
+
+    n_profile_queries: int
+    sim_duration: float
+    sim_warmup: float
+    utilization_grid: tuple
+    capacity_duration: float
+
+    @staticmethod
+    def for_scale(scale: Scale) -> "_ScaleParams":
+        if scale is Scale.SMALL:
+            return _ScaleParams(
+                n_profile_queries=300,
+                sim_duration=4.0,
+                sim_warmup=1.0,
+                utilization_grid=(0.1, 0.3, 0.5, 0.7),
+                capacity_duration=3.0,
+            )
+        return _ScaleParams(
+            n_profile_queries=1_200,
+            sim_duration=15.0,
+            sim_warmup=3.0,
+            utilization_grid=(0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+            capacity_duration=10.0,
+        )
+
+
+class ExperimentContext:
+    """Lazily built, cached per-scale experiment state."""
+
+    _SYSTEMS: Dict[Scale, AdaptiveSearchSystem] = {}
+
+    def __init__(self, scale: Optional[Scale] = None, seed: int = 0) -> None:
+        self.scale = scale if scale is not None else Scale.from_env()
+        self.seed = seed
+        self.params = _ScaleParams.for_scale(self.scale)
+
+    def workbench_config(self) -> WorkbenchConfig:
+        if self.scale is Scale.SMALL:
+            return WorkbenchConfig.small(self.seed)
+        return WorkbenchConfig.reference(self.seed)
+
+    @property
+    def system(self) -> AdaptiveSearchSystem:
+        """The profiled system for this scale (built once per process)."""
+        cached = self._SYSTEMS.get(self.scale)
+        if cached is None:
+            workbench = cached_workbench(self.workbench_config())
+            cached = AdaptiveSearchSystem.from_workbench(
+                workbench,
+                SystemConfig(n_queries=self.params.n_profile_queries, seed=self.seed),
+            )
+            self._SYSTEMS[self.scale] = cached
+        return cached
+
+    # Convenience pass-throughs used by most experiments -------------
+
+    @property
+    def sim_duration(self) -> float:
+        return self.params.sim_duration
+
+    @property
+    def sim_warmup(self) -> float:
+        return self.params.sim_warmup
+
+    @property
+    def utilization_grid(self) -> tuple:
+        return self.params.utilization_grid
+
+    def __repr__(self) -> str:
+        return f"ExperimentContext(scale={self.scale.value}, seed={self.seed})"

@@ -1,0 +1,69 @@
+"""E2 — Sequential service-time distribution.
+
+Reconstructs the paper's query execution-time characterization: the
+distribution is strongly right-skewed (the motivation for attacking tail
+latency with parallelism). Reports moments, a percentile grid (the CDF
+figure's data series), and the lognormal fit.
+"""
+
+from __future__ import annotations
+
+from repro.harness.context import ExperimentContext
+from repro.harness.result import ExperimentResult
+from repro.util.tables import Table
+
+EXPERIMENT_ID = "e02"
+TITLE = "Sequential service-time distribution"
+
+PERCENTILE_GRID = (1, 5, 10, 25, 50, 75, 90, 95, 99, 99.9)
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    system = ctx.system
+    dist = system.service_distribution
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        description=(
+            "CDF data series and moments of sequential query execution "
+            "time on the modeled ISN (virtual milliseconds)."
+        ),
+    )
+
+    summary = dist.summary()
+    moments = Table(["metric", "value"], title="Moments")
+    for key, value in summary.items():
+        moments.add_row([key, value])
+    result.add_table(moments)
+
+    cdf = Table(["percentile", "latency_ms"], title="CDF series")
+    for q in PERCENTILE_GRID:
+        cdf.add_row([q, dist.percentile(q) * 1e3])
+    result.add_table(cdf)
+
+    fit = dist.fit_lognormal()
+    fit_table = Table(["parameter", "value"], title="Lognormal fit")
+    fit_table.add_row(["mu (log-seconds)", fit.mu])
+    fit_table.add_row(["sigma", fit.sigma])
+    fit_table.add_row(["implied mean (ms)", fit.mean * 1e3])
+    fit_table.add_row(["implied median (ms)", fit.median * 1e3])
+    result.add_table(fit_table)
+
+    result.add_check(
+        "heavy tail: p99/p50 >= 5 (paper reports order-of-magnitude skew)",
+        dist.tail_ratio() >= 5.0,
+        f"p99/p50 = {dist.tail_ratio():.1f}",
+    )
+    result.add_check(
+        "high variability: squared CV >= 1 (worse than exponential)",
+        dist.squared_cv >= 1.0,
+        f"scv = {dist.squared_cv:.2f}",
+    )
+    mean_ms = summary["mean_ms"]
+    result.add_check(
+        "milliseconds-scale mean service time",
+        0.05 <= mean_ms <= 100.0,
+        f"mean = {mean_ms:.2f} ms",
+    )
+    result.data = {"summary": summary, "lognormal": {"mu": fit.mu, "sigma": fit.sigma}}
+    return result

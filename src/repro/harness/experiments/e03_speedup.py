@@ -1,0 +1,96 @@
+"""E3 — Speedup vs parallelism degree, by query length class.
+
+Reconstructs the paper's speedup figure: intra-query parallelism is
+sublinear everywhere, and *long* queries (the latency tail, which is
+what the SLO cares about) parallelize far better than short ones. This
+asymmetry is the paper's central mechanism — parallelism buys tail
+latency at low load but costs throughput via the efficiency loss.
+"""
+
+from __future__ import annotations
+
+from repro.harness.context import ExperimentContext
+from repro.harness.result import ExperimentResult
+from repro.profiles.speedup import ParametricSpeedup
+from repro.util.tables import Table
+
+EXPERIMENT_ID = "e03"
+TITLE = "Speedup vs degree of parallelism by query length class"
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    system = ctx.system
+    profile = system.profile
+    degrees = list(profile.degrees)
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        description=(
+            "Mean latency speedup t(1)/t(p) per sequential-time tertile "
+            "(short/medium/long), measured on the engine in virtual time."
+        ),
+    )
+
+    table = Table(["class"] + [f"p={p}" for p in degrees], title="Speedup S(p)")
+    for cls in range(profile.n_classes):
+        table.add_row(
+            [profile.class_name(cls)] + [profile.speedup(p, cls) for p in degrees]
+        )
+    table.add_row(["overall"] + [profile.speedup(p) for p in degrees])
+    result.add_table(table)
+
+    fit = ParametricSpeedup.fit_profile(profile)
+    fit_table = Table(["parameter", "value"], title="Amdahl+waste fit (overall)")
+    fit_table.add_row(["serial fraction", fit.serial])
+    fit_table.add_row(["waste per extra worker", fit.waste])
+    fit_table.add_row(
+        ["fit S(max degree)", fit.speedup(degrees[-1])]
+    )
+    result.add_table(fit_table)
+
+    long_cls, short_cls = profile.n_classes - 1, 0
+    parallel_degrees = [p for p in degrees if p > 1]
+    result.add_check(
+        "long queries speed up more than short at every degree > 1",
+        all(
+            profile.speedup(p, long_cls) > profile.speedup(p, short_cls)
+            for p in parallel_degrees
+        ),
+    )
+    result.add_check(
+        "speedup is sublinear: S(p) < p for all p > 1",
+        all(profile.speedup(p, cls) < p for p in parallel_degrees
+            for cls in range(profile.n_classes)),
+    )
+    # The best degree for long queries depends on scale (a small shard
+    # has too few chunks to feed 12 workers), so the claims are phrased
+    # against the best measured degree rather than the widest one.
+    long_curve = {p: profile.speedup(p, long_cls) for p in degrees}
+    best_degree = max(long_curve, key=long_curve.get)
+    result.add_check(
+        "long queries gain materially (best S >= 1.8)",
+        long_curve[best_degree] >= 1.8,
+        f"S({best_degree}) long = {long_curve[best_degree]:.2f}",
+    )
+    result.add_check(
+        "long queries benefit from wide parallelism (best degree >= 4)",
+        best_degree >= 4,
+        f"best degree {best_degree}",
+    )
+    rising = [p for p in degrees if p <= best_degree]
+    result.add_check(
+        "long-query speedup grows monotonically up to its best degree",
+        all(
+            long_curve[b] >= long_curve[a]
+            for a, b in zip(rising, rising[1:])
+        ),
+    )
+    result.data = {
+        "degrees": degrees,
+        "speedup_by_class": {
+            profile.class_name(c): [profile.speedup(p, c) for p in degrees]
+            for c in range(profile.n_classes)
+        },
+        "amdahl_fit": {"serial": fit.serial, "waste": fit.waste},
+    }
+    return result

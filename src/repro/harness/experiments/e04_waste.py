@@ -1,0 +1,80 @@
+"""E4 — Parallelization waste and efficiency vs degree.
+
+Reconstructs the paper's efficiency analysis: parallel execution of an
+early-terminating query does speculative extra work (chunks claimed by
+workers before the shared termination state catches up), so total CPU
+inflates with degree. The work-inflation factor V(p) is what scales down
+the ISN's saturation throughput when every query runs at degree p.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.harness.context import ExperimentContext
+from repro.harness.result import ExperimentResult
+from repro.util.tables import Table
+
+EXPERIMENT_ID = "e04"
+TITLE = "Parallelization waste and CPU efficiency vs degree"
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    system = ctx.system
+    table = system.cost_table
+    profile = system.profile
+    degrees = list(table.degrees)
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        description=(
+            "Chunk waste (extra chunks evaluated vs sequential), aggregate "
+            "CPU inflation V(p), and the implied capacity efficiency 1/V(p)."
+        ),
+    )
+
+    seq_col = table.degree_column(1)
+    seq_chunks = table.chunks[:, seq_col].astype(np.float64)
+    waste_table = Table(
+        ["degree", "mean extra chunks", "waste fraction", "V(p) cpu inflation",
+         "capacity efficiency"],
+        title="Waste and efficiency",
+    )
+    waste_rows = {}
+    for p in degrees:
+        col = table.degree_column(p)
+        extra = table.chunks[:, col].astype(np.float64) - seq_chunks
+        waste_fraction = float(extra.sum() / max(seq_chunks.sum(), 1.0))
+        inflation = profile.work_inflation(p)
+        waste_table.add_row(
+            [p, float(extra.mean()), waste_fraction, inflation, 1.0 / inflation]
+        )
+        waste_rows[p] = {
+            "mean_extra_chunks": float(extra.mean()),
+            "waste_fraction": waste_fraction,
+            "inflation": inflation,
+        }
+    result.add_table(waste_table)
+
+    parallel_degrees = [p for p in degrees if p > 1]
+    result.add_check(
+        "parallel execution never evaluates fewer chunks than sequential",
+        bool(
+            np.all(
+                table.chunks[:, [table.degree_column(p) for p in parallel_degrees]]
+                >= seq_chunks[:, None]
+            )
+        ),
+    )
+    inflations = [profile.work_inflation(p) for p in degrees]
+    result.add_check(
+        "CPU inflation V(p) is non-decreasing in degree",
+        all(b >= a - 1e-9 for a, b in zip(inflations, inflations[1:])),
+        " ".join(f"{v:.2f}" for v in inflations),
+    )
+    result.add_check(
+        "parallelism costs capacity: V(p) > 1 for p > 1",
+        all(profile.work_inflation(p) > 1.0 for p in parallel_degrees),
+    )
+    result.data = {"degrees": degrees, "waste": waste_rows}
+    return result

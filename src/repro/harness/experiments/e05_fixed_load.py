@@ -1,0 +1,96 @@
+"""E5 — Latency vs load for fixed parallelism degrees.
+
+Reconstructs the paper's fixed-degree comparison: higher degrees win at
+low load (parallelism cuts the tail using idle cores) but saturate
+earlier (each query inflates total work by V(p)), so the curves cross.
+No single fixed degree is best across the operating range — the gap the
+adaptive policy closes in E6.
+"""
+
+from __future__ import annotations
+
+from repro.harness.context import ExperimentContext
+from repro.harness.result import ExperimentResult
+from repro.util.tables import Table
+
+EXPERIMENT_ID = "e05"
+TITLE = "Mean and P99 latency vs load, fixed degrees"
+
+FIXED_POLICIES = ("sequential", "fixed-2", "fixed-4", "fixed-8")
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    system = ctx.system
+    utilizations = list(ctx.utilization_grid)
+    comparison = system.sweep(
+        FIXED_POLICIES,
+        utilizations,
+        duration=ctx.sim_duration,
+        warmup=ctx.sim_warmup,
+    )
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        description=(
+            "Open-loop Poisson arrivals; load expressed as sequential-work "
+            "utilization (rate × E[t1] / cores). Latencies in ms."
+        ),
+    )
+
+    names = [system.policy(p).name for p in FIXED_POLICIES]
+    for metric, label in (("p99_latency", "P99 latency (ms)"),
+                          ("mean_latency", "Mean latency (ms)")):
+        table = Table(["utilization"] + names, title=label)
+        for i, u in enumerate(utilizations):
+            row = [u]
+            for name in names:
+                row.append(comparison.summaries[name][i].__getattribute__(metric) * 1e3)
+            table.add_row(row)
+        result.add_table(table)
+
+    # Crossovers between neighbouring degrees on P99.
+    crossing = Table(["pair", "crossover utilization"], title="P99 crossovers")
+    crossovers = {}
+    rates = comparison.rates
+    for wide, narrow in (("fixed-8", "fixed-4"), ("fixed-4", "fixed-2"),
+                         ("fixed-2", "sequential")):
+        rate = comparison.crossover(wide, narrow)
+        utilization = None if rate is None else rate / system.saturation_rate
+        crossing.add_row([f"{wide} vs {narrow}",
+                          "none" if utilization is None else utilization])
+        crossovers[f"{wide}_vs_{narrow}"] = utilization
+    result.add_table(crossing)
+
+    low, high = 0, len(utilizations) - 1
+    p99 = {name: comparison.p99(name) for name in names}
+    result.add_check(
+        "at the lowest load, moderate parallelism strictly improves P99 "
+        "(fixed-4 < fixed-2 < sequential)",
+        p99["fixed-4"][low] < p99["fixed-2"][low] < p99["sequential"][low],
+        f"p99@u={utilizations[low]}: "
+        + ", ".join(f"{n}={p99[n][low]*1e3:.2f}ms" for n in names),
+    )
+    result.add_check(
+        "at the lowest load, the best fixed configuration is parallel",
+        min(p99[n][low] for n in names if n != "sequential")
+        < p99["sequential"][low],
+    )
+    result.add_check(
+        "at the highest load, sequential beats wide parallelism",
+        p99["sequential"][high] < p99["fixed-4"][high]
+        and p99["sequential"][high] < p99["fixed-8"][high],
+        f"p99@u={utilizations[high]}: "
+        + ", ".join(f"{n}={p99[n][high]*1e3:.1f}ms" for n in names),
+    )
+    result.add_check(
+        "the curves cross: fixed-8 loses to sequential somewhere in-sweep",
+        crossovers.get("fixed-8_vs_fixed-4") is not None
+        or p99["fixed-8"][high] > p99["fixed-4"][high],
+    )
+    result.data = {
+        "utilizations": utilizations,
+        "rates": rates,
+        "p99_ms": {n: (p99[n] * 1e3).tolist() for n in names},
+        "crossover_utilizations": crossovers,
+    }
+    return result

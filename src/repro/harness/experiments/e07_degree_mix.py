@@ -1,0 +1,85 @@
+"""E7 — Degree selection mix vs load (adaptive policy).
+
+Reconstructs the paper's view inside the adaptive policy: at low load
+almost every query gets the widest degree; as load rises the mix shifts
+toward narrower degrees and finally to sequential execution. This is the
+mechanism behind E6's envelope-tracking.
+"""
+
+from __future__ import annotations
+
+from repro.harness.context import ExperimentContext
+from repro.harness.result import ExperimentResult
+from repro.util.tables import Table
+
+EXPERIMENT_ID = "e07"
+TITLE = "Adaptive degree-selection mix vs load"
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    system = ctx.system
+    utilizations = list(ctx.utilization_grid)
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        description=(
+            "Fraction of queries granted each parallelism degree by the "
+            "adaptive policy, per load level (granted = clamped to free "
+            "cores, so it can sit below the policy's request)."
+        ),
+    )
+
+    summaries = [
+        system.run_point(
+            "adaptive",
+            system.rate_for_utilization(u),
+            duration=ctx.sim_duration,
+            warmup=ctx.sim_warmup,
+            seed=42 + i,
+        )
+        for i, u in enumerate(utilizations)
+    ]
+
+    all_degrees = sorted(
+        {degree for summary in summaries for degree in summary.degree_histogram}
+    )
+    table = Table(
+        ["utilization"] + [f"p={p}" for p in all_degrees] + ["mean degree"],
+        title="Degree mix",
+    )
+    for u, summary in zip(utilizations, summaries):
+        histogram = summary.degree_histogram
+        table.add_row(
+            [u]
+            + [histogram.get(p, 0.0) for p in all_degrees]
+            + [summary.mean_degree]
+        )
+    result.add_table(table)
+
+    mean_degrees = [s.mean_degree for s in summaries]
+    result.add_check(
+        "mean granted degree decreases from the lowest to the highest load",
+        mean_degrees[0] > mean_degrees[-1],
+        f"{mean_degrees[0]:.2f} -> {mean_degrees[-1]:.2f}",
+    )
+    widest = all_degrees[-1]
+    wide_fraction = [s.degree_histogram.get(widest, 0.0) for s in summaries]
+    result.add_check(
+        "widest-degree usage shrinks with load",
+        wide_fraction[0] > wide_fraction[-1],
+        f"{wide_fraction[0]:.2f} -> {wide_fraction[-1]:.2f}",
+    )
+    sequential_fraction = [s.degree_histogram.get(1, 0.0) for s in summaries]
+    result.add_check(
+        "sequential execution dominates at the highest load (> 50%)",
+        sequential_fraction[-1] > 0.5,
+        f"fraction {sequential_fraction[-1]:.2f}",
+    )
+    result.data = {
+        "utilizations": utilizations,
+        "mean_degree": mean_degrees,
+        "degree_histograms": [
+            {str(k): v for k, v in s.degree_histogram.items()} for s in summaries
+        ],
+    }
+    return result

@@ -1,0 +1,100 @@
+"""E11 — Simulator validation against queueing theory.
+
+Feeds the discrete-event ISN model exponential service times at degree 1
+(making it an M/M/c queue) and checks the measured mean queueing delay
+against the exact Erlang-C formula at several utilizations. This is the
+evidence that latency numbers from E5–E10 come from a correct queueing
+simulation rather than an artifact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.queueing_theory import mmc_mean_queue_delay
+from repro.engine.query import Query
+from repro.harness.context import ExperimentContext
+from repro.harness.result import ExperimentResult
+from repro.policies.fixed import SequentialPolicy
+from repro.profiles.measurement import QueryCostTable
+from repro.sim.experiment import LoadPointConfig, run_load_point
+from repro.sim.oracle import ServiceOracle
+from repro.util.rng import make_rng
+from repro.util.tables import Table
+
+EXPERIMENT_ID = "e11"
+TITLE = "Simulator vs Erlang-C (M/M/c validation)"
+
+UTILIZATIONS = (0.6, 0.75, 0.85)
+N_CORES = 12
+MEAN_SERVICE = 2e-3  # 2 ms
+
+
+def _exponential_cost_table(n: int, seed: int) -> QueryCostTable:
+    """A degree-1-only cost table with exponential service times.
+
+    The sample is renormalized to the exact nominal mean: near
+    saturation the Erlang-C wait is hyper-sensitive to the offered load,
+    so a 1% sampling error in the mean would swamp the comparison.
+    """
+    rng = make_rng(seed)
+    latencies = rng.exponential(MEAN_SERVICE, size=n).reshape(n, 1)
+    latencies *= MEAN_SERVICE / latencies.mean()
+    queries = [Query.of([0], query_id=i) for i in range(n)]
+    return QueryCostTable(
+        queries=queries,
+        degrees=(1,),
+        latency=latencies,
+        cpu=latencies.copy(),
+        chunks=np.ones((n, 1), dtype=np.int64),
+    )
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        description=(
+            f"M/M/{N_CORES} with mean service {MEAN_SERVICE*1e3:.0f} ms: "
+            "measured mean queue delay vs Erlang-C."
+        ),
+    )
+    oracle = ServiceOracle(_exponential_cost_table(4_000, seed=5))
+    policy = SequentialPolicy()
+    service_rate = 1.0 / MEAN_SERVICE
+
+    # Longer horizons at high utilization: queueing variance grows
+    # as 1/(1-rho), so keep confidence roughly constant.
+    table = Table(
+        ["utilization", "measured wait (ms)", "Erlang-C wait (ms)", "relative error"],
+        title="Mean queueing delay",
+    )
+    errors = []
+    for i, rho in enumerate(UTILIZATIONS):
+        rate = rho * N_CORES * service_rate
+        duration = (30.0 if ctx.sim_duration >= 10 else 12.0) / (1.0 - rho)
+        config = LoadPointConfig(
+            rate=rate,
+            duration=duration,
+            warmup=duration * 0.2,
+            n_cores=N_CORES,
+            seed=17 + i,
+        )
+        summary = run_load_point(oracle, policy, config)
+        theory = mmc_mean_queue_delay(rate, service_rate, N_CORES)
+        measured = summary.mean_queue_delay
+        error = abs(measured - theory) / theory if theory > 0 else 0.0
+        errors.append(error)
+        table.add_row([rho, measured * 1e3, theory * 1e3, error])
+    result.add_table(table)
+
+    result.add_check(
+        "measured mean queue delay within 15% of Erlang-C at every load",
+        all(e <= 0.15 for e in errors),
+        " ".join(f"{e*100:.1f}%" for e in errors),
+    )
+    result.data = {
+        "utilizations": list(UTILIZATIONS),
+        "relative_errors": errors,
+    }
+    return result

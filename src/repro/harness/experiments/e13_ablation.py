@@ -1,0 +1,157 @@
+"""E13 (extension) — Design-choice ablations: chunk size and match budget.
+
+DESIGN.md calls out two engine design points this experiment justifies:
+
+* **Chunk size** (parallel work granularity): small chunks balance load
+  across workers and tighten termination checks but pay per-chunk
+  overhead; large chunks amortize overhead but starve wide parallelism
+  on short queries and overshoot termination.
+* **Match budget** (early-termination aggressiveness): a larger budget
+  evaluates more candidates per query — more work per query for better
+  result quality, directly scaling the ISN's mean service time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.engine.executor import Engine
+from repro.engine.termination import TerminationConfig
+from repro.harness.context import ExperimentContext
+from repro.harness.result import ExperimentResult
+from repro.index.builder import IndexConfig, build_index
+from repro.profiles.measurement import MeasurementConfig, measure_cost_table
+from repro.profiles.speedup import SpeedupProfile
+from repro.util.tables import Table
+
+EXPERIMENT_ID = "e13"
+TITLE = "Ablations: chunk size and match budget"
+
+CHUNK_SIZES = (32, 128, 512)
+MATCH_BUDGETS = (64, 256, 1024)
+DEGREES = (1, 2, 4, 8)
+
+
+def _profile_for_engine(ctx: ExperimentContext, engine: Engine):
+    workbench = ctx.system.workbench
+    queries = workbench.query_generator("ablation-queries").sample_many(
+        max(150, ctx.params.n_profile_queries // 4)
+    )
+    table = measure_cost_table(
+        engine, queries, MeasurementConfig(degrees=DEGREES, n_queries=len(queries))
+    )
+    return table, SpeedupProfile(table)
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    system = ctx.system
+    workbench = system.workbench
+    base_engine_config = workbench.engine.config
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        description=(
+            "Engine profiles re-measured while varying one design knob at "
+            "a time (same corpus, same query stream)."
+        ),
+    )
+
+    # ---- Chunk-size sweep (rebuilds the index) ----------------------
+    chunk_rows = {}
+    chunk_table = Table(
+        ["chunk size", "mean t1 (ms)", "p99 t1 (ms)", "long S(8)", "V(8)"],
+        title="Chunk-size ablation",
+    )
+    for chunk_size in CHUNK_SIZES:
+        index = build_index(
+            workbench.corpus,
+            IndexConfig(chunk_size=chunk_size, bm25=workbench.index.bm25_params),
+        )
+        engine = Engine(index, base_engine_config)
+        table, profile = _profile_for_engine(ctx, engine)
+        t1 = table.sequential_latencies()
+        chunk_rows[chunk_size] = {
+            "mean_t1_ms": float(t1.mean() * 1e3),
+            "p99_t1_ms": float(np.percentile(t1, 99) * 1e3),
+            "long_speedup_8": profile.speedup(8, profile.n_classes - 1),
+            "inflation_8": profile.work_inflation(8),
+        }
+        chunk_table.add_row(
+            [chunk_size] + list(chunk_rows[chunk_size].values())
+        )
+    result.add_table(chunk_table)
+
+    # ---- Match-budget sweep (same index, new termination config) ----
+    budget_rows = {}
+    budget_table = Table(
+        ["match budget", "mean t1 (ms)", "p99 t1 (ms)", "early-terminated"],
+        title="Match-budget ablation",
+    )
+    for budget in MATCH_BUDGETS:
+        engine = Engine(
+            workbench.index,
+            replace(
+                base_engine_config,
+                termination=TerminationConfig(match_budget=budget),
+            ),
+        )
+        queries = workbench.query_generator("ablation-queries").sample_many(
+            max(150, ctx.params.n_profile_queries // 4)
+        )
+        latencies = []
+        early = 0
+        for query in queries:
+            execution = engine.execute(query, 1)
+            latencies.append(execution.latency)
+            early += int(execution.terminated_early)
+        latencies = np.asarray(latencies)
+        budget_rows[budget] = {
+            "mean_t1_ms": float(latencies.mean() * 1e3),
+            "p99_t1_ms": float(np.percentile(latencies, 99) * 1e3),
+            "early_fraction": early / len(queries),
+        }
+        budget_table.add_row([budget] + list(budget_rows[budget].values()))
+    result.add_table(budget_table)
+
+    # ---- Shape checks ------------------------------------------------
+    speedups = {c: chunk_rows[c]["long_speedup_8"] for c in CHUNK_SIZES}
+    best_chunk = max(speedups, key=speedups.get)
+    result.add_check(
+        "the default chunk size (128) is within 15% of the best long-query "
+        "speedup in the sweep",
+        speedups[128] >= 0.85 * speedups[best_chunk],
+        ", ".join(f"{c}: {s:.2f}" for c, s in speedups.items()),
+    )
+    mean_t1 = {c: chunk_rows[c]["mean_t1_ms"] for c in CHUNK_SIZES}
+    result.add_check(
+        "coarser chunks overshoot early termination (mean t1 grows with "
+        "chunk size)",
+        mean_t1[32] <= mean_t1[128] <= mean_t1[512],
+        " -> ".join(f"{c}: {m:.3f}ms" for c, m in mean_t1.items()),
+    )
+    inflation = {c: chunk_rows[c]["inflation_8"] for c in CHUNK_SIZES}
+    result.add_check(
+        "coarser chunks inflate speculative waste (V(8) grows from 128 to "
+        "512)",
+        inflation[512] > inflation[128],
+        ", ".join(f"{c}: {v:.2f}" for c, v in inflation.items()),
+    )
+    means = [budget_rows[b]["mean_t1_ms"] for b in MATCH_BUDGETS]
+    result.add_check(
+        "mean service time grows monotonically with the match budget",
+        means[0] < means[1] < means[2],
+        " -> ".join(f"{m:.3f}ms" for m in means),
+    )
+    early_fractions = [budget_rows[b]["early_fraction"] for b in MATCH_BUDGETS]
+    result.add_check(
+        "larger budgets terminate fewer queries early",
+        early_fractions[0] >= early_fractions[-1],
+        " -> ".join(f"{e:.2f}" for e in early_fractions),
+    )
+    result.data = {
+        "chunk_sizes": {str(k): v for k, v in chunk_rows.items()},
+        "match_budgets": {str(k): v for k, v in budget_rows.items()},
+    }
+    return result

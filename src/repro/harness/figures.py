@@ -1,0 +1,118 @@
+"""Export experiment result data as CSV series for external plotting.
+
+The harness stores each experiment's figure-ready series in the
+``data`` field of its JSON result. :func:`export_csv` turns those into
+plain CSV files (one per experiment) that any plotting tool can consume
+— the reproduction itself stays dependency-free of matplotlib.
+
+The exporter is schema-light: it looks for an *axis* entry (a list named
+``utilizations``, ``rates``, ``burst_ratios``, or ``shard_counts``) and
+emits every other list of the same length as a column; scalar entries
+and nested dicts of scalars go to a ``<id>_scalars.csv`` companion.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.harness.report import load_results_dir
+
+AXIS_NAMES = ("utilizations", "rates", "burst_ratios", "shard_counts")
+
+
+def _find_axis(data: Dict) -> Optional[Tuple[str, List]]:
+    for name in AXIS_NAMES:
+        axis = data.get(name)
+        if isinstance(axis, list) and axis:
+            return name, axis
+    return None
+
+
+def _series_columns(data: Dict, axis_len: int) -> Dict[str, List]:
+    """Collect every equal-length numeric list, flattening one dict level."""
+    columns: Dict[str, List] = {}
+
+    def consider(name: str, value) -> None:
+        if (
+            isinstance(value, list)
+            and len(value) == axis_len
+            and all(isinstance(x, (int, float)) or x is None for x in value)
+        ):
+            columns[name] = value
+
+    for key, value in data.items():
+        if key in AXIS_NAMES:
+            continue
+        consider(key, value)
+        if isinstance(value, dict):
+            for sub_key, sub_value in value.items():
+                consider(f"{key}/{sub_key}", sub_value)
+    return columns
+
+
+def _scalar_rows(data: Dict) -> List[Tuple[str, Union[int, float, str]]]:
+    rows: List[Tuple[str, Union[int, float, str]]] = []
+
+    def walk(prefix: str, value) -> None:
+        if isinstance(value, (int, float, str, bool)) or value is None:
+            rows.append((prefix, value))
+        elif isinstance(value, dict):
+            for key, sub_value in value.items():
+                walk(f"{prefix}/{key}" if prefix else str(key), sub_value)
+
+    for key, value in data.items():
+        if key in AXIS_NAMES or isinstance(value, list):
+            continue
+        walk(str(key), value)
+    return rows
+
+
+def export_csv(
+    results_dir: Union[str, Path], output_dir: Union[str, Path]
+) -> List[Path]:
+    """Export every experiment result in ``results_dir`` to CSV.
+
+    Returns the list of files written. Experiments whose ``data`` holds
+    an axis get a ``<id>_series.csv`` (axis + aligned series); any scalar
+    content goes to ``<id>_scalars.csv``.
+    """
+    payloads = load_results_dir(results_dir)
+    output_dir = Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+
+    for payload in payloads:
+        experiment_id = payload["experiment_id"]
+        data = payload.get("data") or {}
+        if not isinstance(data, dict):
+            continue
+
+        axis = _find_axis(data)
+        if axis is not None:
+            axis_name, axis_values = axis
+            columns = _series_columns(data, len(axis_values))
+            if columns:
+                path = output_dir / f"{experiment_id}_series.csv"
+                with path.open("w", newline="", encoding="utf-8") as handle:
+                    writer = csv.writer(handle)
+                    names = sorted(columns)
+                    writer.writerow([axis_name] + names)
+                    for i, x in enumerate(axis_values):
+                        writer.writerow([x] + [columns[n][i] for n in names])
+                written.append(path)
+
+        scalars = _scalar_rows(data)
+        if scalars:
+            path = output_dir / f"{experiment_id}_scalars.csv"
+            with path.open("w", newline="", encoding="utf-8") as handle:
+                writer = csv.writer(handle)
+                writer.writerow(["key", "value"])
+                writer.writerows(scalars)
+            written.append(path)
+
+    if not written:
+        raise ConfigurationError(f"nothing exportable found in {results_dir}")
+    return written

@@ -1,0 +1,77 @@
+"""Experiment registry and runner."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.harness.context import ExperimentContext
+from repro.harness.experiments import (
+    e01_workload,
+    e02_service_time,
+    e03_speedup,
+    e04_waste,
+    e05_fixed_load,
+    e06_adaptive,
+    e07_degree_mix,
+    e08_capacity,
+    e09_bursty,
+    e10_extensions,
+    e11_validation,
+    e12_cluster,
+    e13_ablation,
+    e14_decomposition,
+    e15_workload_mix,
+    e16_topical,
+    e17_thresholds,
+    e18_plan_clamp,
+)
+from repro.harness.result import ExperimentResult
+
+ExperimentRunner = Callable[[ExperimentContext], ExperimentResult]
+
+_MODULES = (
+    e01_workload,
+    e02_service_time,
+    e03_speedup,
+    e04_waste,
+    e05_fixed_load,
+    e06_adaptive,
+    e07_degree_mix,
+    e08_capacity,
+    e09_bursty,
+    e10_extensions,
+    e11_validation,
+    e12_cluster,
+    e13_ablation,
+    e14_decomposition,
+    e15_workload_mix,
+    e16_topical,
+    e17_thresholds,
+    e18_plan_clamp,
+)
+
+EXPERIMENTS: Dict[str, ExperimentRunner] = {
+    module.EXPERIMENT_ID: module.run for module in _MODULES
+}
+
+TITLES: Dict[str, str] = {module.EXPERIMENT_ID: module.TITLE for module in _MODULES}
+
+
+def get_experiment(experiment_id: str) -> ExperimentRunner:
+    """Look up an experiment runner by id (e.g. ``"e06"``)."""
+    try:
+        return EXPERIMENTS[experiment_id.lower()]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def run_experiment(
+    experiment_id: str, ctx: Optional[ExperimentContext] = None
+) -> ExperimentResult:
+    """Run one experiment, creating a default context if none is given."""
+    runner = get_experiment(experiment_id)
+    return runner(ctx if ctx is not None else ExperimentContext())

@@ -1,0 +1,86 @@
+"""Experiment result container and rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.util.serde import to_jsonable
+from repro.util.tables import Table
+
+
+@dataclass(frozen=True)
+class CheckOutcome:
+    """One shape assertion about an experiment's output.
+
+    Checks encode the paper's qualitative claims ("adaptive tracks the
+    fixed-policy envelope", "long queries speed up more than short
+    ones"); EXPERIMENTS.md reports their pass/fail status.
+    """
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def render(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        suffix = f" — {self.detail}" if self.detail else ""
+        return f"[{status}] {self.name}{suffix}"
+
+
+@dataclass
+class ExperimentResult:
+    """Everything an experiment produces."""
+
+    experiment_id: str
+    title: str
+    description: str
+    tables: List[Table] = field(default_factory=list)
+    charts: List[str] = field(default_factory=list)
+    checks: List[CheckOutcome] = field(default_factory=list)
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def all_checks_passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def add_table(self, table: Table) -> None:
+        self.tables.append(table)
+
+    def add_chart(self, chart: str) -> None:
+        """Attach a preformatted ASCII chart (see repro.util.ascii_chart)."""
+        self.charts.append(chart)
+
+    def add_check(self, name: str, passed: bool, detail: str = "") -> None:
+        self.checks.append(CheckOutcome(name=name, passed=bool(passed), detail=detail))
+
+    def render(self) -> str:
+        lines = [f"=== {self.experiment_id.upper()}: {self.title} ===", ""]
+        if self.description:
+            lines.append(self.description)
+            lines.append("")
+        for table in self.tables:
+            lines.append(table.render())
+            lines.append("")
+        for chart in self.charts:
+            lines.append(chart)
+            lines.append("")
+        if self.checks:
+            lines.append("Shape checks:")
+            lines.extend("  " + check.render() for check in self.checks)
+            lines.append("")
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "description": self.description,
+            "tables": [
+                {"title": t.title, "columns": t.columns, "rows": t.as_records()}
+                for t in self.tables
+            ],
+            "charts": list(self.charts),
+            "checks": [to_jsonable(c) for c in self.checks],
+            "data": to_jsonable(self.data),
+        }

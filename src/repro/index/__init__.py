@@ -1,0 +1,16 @@
+"""Inverted index substrate: postings, lexicon, chunking, builder."""
+
+from repro.index.builder import IndexConfig, build_index
+from repro.index.chunks import ChunkMap
+from repro.index.inverted import InvertedIndex
+from repro.index.lexicon import Lexicon
+from repro.index.postings import PostingList
+
+__all__ = [
+    "IndexConfig",
+    "build_index",
+    "ChunkMap",
+    "InvertedIndex",
+    "Lexicon",
+    "PostingList",
+]

@@ -1,0 +1,108 @@
+"""Index persistence: save/load a built shard as a compressed .npz.
+
+Production ISNs memory-map prebuilt shards rather than re-inverting the
+corpus on every start; this module provides the equivalent for the
+reproduction (and lets experiments share one build across processes).
+The on-disk layout is columnar: one flat array per posting-list field,
+with per-term offsets — exactly the in-memory layout, so loads are
+O(number of terms) object constructions over zero-copy array slices.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import IndexError_
+from repro.index.chunks import ChunkMap
+from repro.index.inverted import InvertedIndex
+from repro.index.lexicon import Lexicon
+from repro.index.postings import PostingList
+from repro.ranking.bm25 import BM25Params
+
+FORMAT_VERSION = 1
+
+
+def save_index(index: InvertedIndex, path: Union[str, Path]) -> Path:
+    """Serialize ``index`` to ``path`` (.npz, compressed)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    term_ids = np.asarray(sorted(index.lexicon), dtype=np.int64)
+    lengths = np.asarray(
+        [index.lexicon.postings(int(t)).doc_frequency for t in term_ids],
+        dtype=np.int64,
+    )
+    offsets = np.zeros(term_ids.shape[0] + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    total = int(offsets[-1])
+
+    doc_ids = np.empty(total, dtype=np.int64)
+    freqs = np.empty(total, dtype=np.int64)
+    impacts = np.empty(total, dtype=np.float64)
+    for i, term_id in enumerate(term_ids):
+        plist = index.lexicon.postings(int(term_id))
+        start, end = int(offsets[i]), int(offsets[i + 1])
+        doc_ids[start:end] = plist.doc_ids
+        freqs[start:end] = plist.freqs
+        impacts[start:end] = plist.impacts
+
+    np.savez_compressed(
+        path,
+        format_version=np.asarray([FORMAT_VERSION]),
+        vocab_size=np.asarray([index.lexicon.vocab_size]),
+        chunk_size=np.asarray([index.chunk_map.chunk_size]),
+        bm25=np.asarray([index.bm25_params.k1, index.bm25_params.b]),
+        doc_lengths=index.doc_lengths,
+        static_ranks=index.static_ranks,
+        term_ids=term_ids,
+        term_offsets=offsets,
+        posting_doc_ids=doc_ids,
+        posting_freqs=freqs,
+        posting_impacts=impacts,
+    )
+    return path
+
+
+def load_index(path: Union[str, Path]) -> InvertedIndex:
+    """Load an index previously written by :func:`save_index`."""
+    with np.load(Path(path)) as data:
+        version = int(data["format_version"][0])
+        if version != FORMAT_VERSION:
+            raise IndexError_(
+                f"unsupported index format version {version} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        vocab_size = int(data["vocab_size"][0])
+        chunk_size = int(data["chunk_size"][0])
+        k1, b = (float(x) for x in data["bm25"])
+        doc_lengths = data["doc_lengths"]
+        static_ranks = data["static_ranks"]
+        term_ids = data["term_ids"]
+        offsets = data["term_offsets"]
+        posting_doc_ids = data["posting_doc_ids"]
+        posting_freqs = data["posting_freqs"]
+        posting_impacts = data["posting_impacts"]
+
+    chunk_map = ChunkMap(int(doc_lengths.shape[0]), chunk_size)
+    lexicon = Lexicon(vocab_size)
+    for i, term_id in enumerate(term_ids):
+        start, end = int(offsets[i]), int(offsets[i + 1])
+        lexicon.add(
+            PostingList(
+                term_id=int(term_id),
+                doc_ids=posting_doc_ids[start:end],
+                freqs=posting_freqs[start:end],
+                impacts=posting_impacts[start:end],
+                chunk_map=chunk_map,
+            )
+        )
+    return InvertedIndex(
+        lexicon=lexicon,
+        chunk_map=chunk_map,
+        doc_lengths=doc_lengths,
+        static_ranks=static_ranks,
+        bm25_params=BM25Params(k1=k1, b=b),
+    )

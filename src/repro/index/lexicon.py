@@ -1,0 +1,79 @@
+"""Lexicon: term dictionary mapping term ids to posting lists and stats."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+import numpy as np
+
+from repro.errors import IndexError_
+from repro.index.postings import PostingList
+
+
+class Lexicon:
+    """Term dictionary of an inverted index.
+
+    Holds one :class:`PostingList` per term that occurs in the corpus,
+    plus corpus-wide term statistics (document frequency, idf, global max
+    impact) used for query planning and score upper bounds.
+    """
+
+    def __init__(self, vocab_size: int) -> None:
+        if vocab_size < 1:
+            raise IndexError_("vocab_size must be >= 1")
+        self.vocab_size = vocab_size
+        self._postings: Dict[int, PostingList] = {}
+
+    def add(self, posting_list: PostingList) -> None:
+        term_id = posting_list.term_id
+        if not 0 <= term_id < self.vocab_size:
+            raise IndexError_(f"term id {term_id} outside [0, {self.vocab_size})")
+        if term_id in self._postings:
+            raise IndexError_(f"duplicate posting list for term {term_id}")
+        self._postings[term_id] = posting_list
+
+    def __contains__(self, term_id: int) -> bool:
+        return term_id in self._postings
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(sorted(self._postings))
+
+    def postings(self, term_id: int) -> PostingList:
+        """Posting list for ``term_id``; raises for absent terms."""
+        try:
+            return self._postings[term_id]
+        except KeyError:
+            raise IndexError_(f"term {term_id} has no posting list") from None
+
+    def postings_or_none(self, term_id: int):
+        return self._postings.get(term_id)
+
+    def doc_frequency(self, term_id: int) -> int:
+        plist = self._postings.get(term_id)
+        return plist.doc_frequency if plist is not None else 0
+
+    def max_impact(self, term_id: int) -> float:
+        plist = self._postings.get(term_id)
+        return plist.max_impact if plist is not None else 0.0
+
+    def document_frequencies(self) -> np.ndarray:
+        """Dense df vector over the vocabulary."""
+        df = np.zeros(self.vocab_size, dtype=np.int64)
+        for term_id, plist in self._postings.items():
+            df[term_id] = plist.doc_frequency
+        return df
+
+    def posting_lists(self, term_ids: List[int]) -> List[PostingList]:
+        """Posting lists for the given terms, skipping absent terms."""
+        found = []
+        for term_id in term_ids:
+            plist = self._postings.get(term_id)
+            if plist is not None:
+                found.append(plist)
+        return found
+
+    def __repr__(self) -> str:
+        return f"Lexicon(vocab_size={self.vocab_size}, terms={len(self)})"

@@ -1,0 +1,33 @@
+"""Parallelism-degree selection policies (the paper's contribution).
+
+A policy decides, at the moment a query begins execution, how many
+worker threads it gets. The paper's **adaptive** policy keys the
+decision on instantaneous system load; fixed-degree and sequential
+policies are the baselines it is compared against, and the oracle,
+predictive, and incremental policies are upper-bound / extension
+variants.
+"""
+
+from repro.policies.adaptive import AdaptivePolicy, ThresholdTable
+from repro.policies.base import ParallelismPolicy, QueryInfo, SystemState
+from repro.policies.derivation import derive_threshold_table
+from repro.policies.fixed import FixedPolicy, SequentialPolicy
+from repro.policies.incremental import IncrementalPolicy
+from repro.policies.oracle import OraclePolicy
+from repro.policies.predictive import PredictivePolicy
+from repro.policies.predictor import QueryLatencyPredictor
+
+__all__ = [
+    "AdaptivePolicy",
+    "ThresholdTable",
+    "ParallelismPolicy",
+    "QueryInfo",
+    "SystemState",
+    "derive_threshold_table",
+    "FixedPolicy",
+    "SequentialPolicy",
+    "IncrementalPolicy",
+    "OraclePolicy",
+    "PredictivePolicy",
+    "QueryLatencyPredictor",
+]

@@ -1,0 +1,33 @@
+"""Baseline policies: sequential execution and fixed parallelism.
+
+These are the configurations the paper compares adaptive parallelism
+against: ``SequentialPolicy`` is the classic throughput-optimal ISN
+configuration; ``FixedPolicy(p)`` parallelizes every query at degree
+``p`` regardless of load (latency-optimal at low load, but it saturates
+early because every query pays the work-inflation tax).
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import ParallelismPolicy, QueryInfo, SystemState
+from repro.util.validation import require_int_in_range
+
+
+class FixedPolicy(ParallelismPolicy):
+    """Every query runs at the same degree."""
+
+    def __init__(self, degree: int) -> None:
+        require_int_in_range(degree, "degree", low=1)
+        self.degree = degree
+        self.name = f"fixed-{degree}"
+
+    def choose_degree(self, state: SystemState, info: QueryInfo) -> int:
+        return self.degree
+
+
+class SequentialPolicy(FixedPolicy):
+    """Every query runs sequentially (degree 1)."""
+
+    def __init__(self) -> None:
+        super().__init__(1)
+        self.name = "sequential"

@@ -1,0 +1,38 @@
+"""Incremental ("few-to-many") parallelism (extension).
+
+Rather than committing a degree at dispatch, start every query
+sequentially and *escalate* to the load-selected degree only if it is
+still running after a probe interval. Short queries — the majority —
+finish inside the probe and never pay parallel overhead; long queries
+lose only the probe time relative to immediate parallelism. This
+approximates the few-to-many idea from the authors' follow-up work.
+
+Mechanically the policy is an :class:`AdaptivePolicy` whose chosen
+degree applies to the *escalation phase*; the simulated server detects
+the ``probe_time`` attribute and builds a two-phase job (see
+``repro.sim.server``). The escalated phase's duration is scaled from
+the measured degree-``p`` latency by the fraction of sequential work
+remaining — an approximation, stated in DESIGN.md, that preserves the
+policy's first-order behaviour (short queries avoid the parallelism tax
+entirely).
+"""
+
+from __future__ import annotations
+
+from repro.policies.adaptive import AdaptivePolicy, ThresholdTable
+from repro.policies.base import QueryInfo, SystemState
+from repro.util.validation import require_positive
+
+
+class IncrementalPolicy(AdaptivePolicy):
+    """Sequential probe, then load-adaptive escalation."""
+
+    def __init__(self, table: ThresholdTable, probe_time: float) -> None:
+        super().__init__(table)
+        require_positive(probe_time, "probe_time")
+        self.probe_time = float(probe_time)
+        self.name = "incremental"
+
+    def choose_degree(self, state: SystemState, info: QueryInfo) -> int:
+        """Degree used *if* the query escalates after the probe."""
+        return self._validate(self.table.degree_for(state.n_in_system))

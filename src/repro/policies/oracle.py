@@ -1,0 +1,34 @@
+"""Oracle policy: per-query upper bound on adaptive parallelism.
+
+The adaptive policy parallelizes *every* query at the load-selected
+degree, even short ones that gain nothing from extra workers. The oracle
+knows each query's true sequential latency and only parallelizes queries
+long enough to benefit, so it upper-bounds what any length-aware scheme
+(e.g. the predictive extension) can achieve.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PolicyError
+from repro.policies.adaptive import AdaptivePolicy, ThresholdTable
+from repro.policies.base import QueryInfo, SystemState
+from repro.util.validation import require_positive
+
+
+class OraclePolicy(AdaptivePolicy):
+    """Adaptive thresholds gated by the query's *true* length."""
+
+    def __init__(self, table: ThresholdTable, long_query_cutoff: float) -> None:
+        super().__init__(table)
+        require_positive(long_query_cutoff, "long_query_cutoff")
+        self.long_query_cutoff = float(long_query_cutoff)
+        self.name = "oracle"
+
+    def choose_degree(self, state: SystemState, info: QueryInfo) -> int:
+        if info.true_sequential_latency is None:
+            raise PolicyError(
+                "OraclePolicy requires true_sequential_latency in QueryInfo"
+            )
+        if info.true_sequential_latency < self.long_query_cutoff:
+            return 1
+        return self._validate(self.table.degree_for(state.n_in_system))

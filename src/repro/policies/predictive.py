@@ -1,0 +1,36 @@
+"""Predictive parallelism (extension).
+
+Combines the paper's load-adaptive thresholds with a per-query length
+prediction: queries predicted to be short run sequentially (they gain
+nothing from extra workers and their parallel execution wastes CPU),
+while predicted-long queries use the load-selected degree. This is the
+direction the authors pursued in follow-up work; here it serves as an
+ablation between plain adaptive and the clairvoyant oracle.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PolicyError
+from repro.policies.adaptive import AdaptivePolicy, ThresholdTable
+from repro.policies.base import QueryInfo, SystemState
+from repro.util.validation import require_positive
+
+
+class PredictivePolicy(AdaptivePolicy):
+    """Adaptive thresholds gated by *predicted* query length."""
+
+    def __init__(self, table: ThresholdTable, long_query_cutoff: float) -> None:
+        super().__init__(table)
+        require_positive(long_query_cutoff, "long_query_cutoff")
+        self.long_query_cutoff = float(long_query_cutoff)
+        self.name = "predictive"
+
+    def choose_degree(self, state: SystemState, info: QueryInfo) -> int:
+        if info.predicted_sequential_latency is None:
+            raise PolicyError(
+                "PredictivePolicy requires predicted_sequential_latency in "
+                "QueryInfo (annotate the workload with QueryLatencyPredictor)"
+            )
+        if info.predicted_sequential_latency < self.long_query_cutoff:
+            return 1
+        return self._validate(self.table.degree_for(state.n_in_system))

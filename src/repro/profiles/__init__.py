@@ -1,0 +1,24 @@
+"""Execution profiles: service-time distributions and speedup curves.
+
+This subpackage bridges the engine and the simulator: it measures how
+real (virtual-time) query executions behave at each parallelism degree,
+summarizes the results as speedup/efficiency profiles, and packages
+per-query cost tables the discrete-event server model replays.
+"""
+
+from repro.profiles.measurement import (
+    MeasurementConfig,
+    QueryCostTable,
+    measure_cost_table,
+)
+from repro.profiles.servicetime import ServiceTimeDistribution
+from repro.profiles.speedup import ParametricSpeedup, SpeedupProfile
+
+__all__ = [
+    "MeasurementConfig",
+    "QueryCostTable",
+    "measure_cost_table",
+    "ServiceTimeDistribution",
+    "ParametricSpeedup",
+    "SpeedupProfile",
+]

@@ -1,0 +1,13 @@
+"""Ranking substrate: BM25, static-rank prior, composite scoring."""
+
+from repro.ranking.bm25 import BM25Params, bm25_idf, bm25_impacts, bm25_tf_component
+from repro.ranking.composite import CompositeScorer, ScoreWeights
+
+__all__ = [
+    "BM25Params",
+    "bm25_idf",
+    "bm25_impacts",
+    "bm25_tf_component",
+    "CompositeScorer",
+    "ScoreWeights",
+]

@@ -1,0 +1,222 @@
+"""Arrival processes for the open-loop workload.
+
+All processes expose one method, :meth:`ArrivalProcess.next_interarrival`,
+returning the time to the next arrival. Provided models:
+
+* :class:`PoissonArrivals` — the paper's primary load model (open-loop
+  Poisson, as produced by a large population of independent users);
+* :class:`DeterministicArrivals` — fixed spacing, for tests;
+* :class:`MMPP2Arrivals` — a 2-state Markov-modulated Poisson process
+  modeling bursty traffic (the robustness experiment);
+* :class:`TraceArrivals` — replay of explicit timestamps.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.util.validation import require, require_positive
+
+
+class ArrivalProcess(abc.ABC):
+    """Generates successive inter-arrival times (seconds)."""
+
+    @abc.abstractmethod
+    def next_interarrival(self) -> float:
+        """Time until the next arrival; ``inf`` when the stream ends."""
+
+    def reset(self) -> None:  # pragma: no cover - optional override
+        """Restart the stream (only meaningful for finite traces)."""
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Exponential inter-arrivals at a fixed rate (queries/second)."""
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        require_positive(rate, "rate")
+        self.rate = float(rate)
+        self._rng = rng
+
+    def next_interarrival(self) -> float:
+        return float(self._rng.exponential(1.0 / self.rate))
+
+
+class DeterministicArrivals(ArrivalProcess):
+    """Evenly spaced arrivals at a fixed rate."""
+
+    def __init__(self, rate: float) -> None:
+        require_positive(rate, "rate")
+        self.rate = float(rate)
+
+    def next_interarrival(self) -> float:
+        return 1.0 / self.rate
+
+
+class MMPP2Arrivals(ArrivalProcess):
+    """Two-state Markov-modulated Poisson process.
+
+    The process alternates between a *low* and a *high* intensity state
+    with exponentially distributed dwell times. Its mean rate is the
+    dwell-weighted average of the two intensities; burstiness grows with
+    the intensity ratio and dwell lengths.
+    """
+
+    def __init__(
+        self,
+        rate_low: float,
+        rate_high: float,
+        mean_dwell_low: float,
+        mean_dwell_high: float,
+        rng: np.random.Generator,
+    ) -> None:
+        require_positive(rate_low, "rate_low")
+        require_positive(rate_high, "rate_high")
+        require_positive(mean_dwell_low, "mean_dwell_low")
+        require_positive(mean_dwell_high, "mean_dwell_high")
+        require(rate_high >= rate_low, "rate_high must be >= rate_low")
+        self.rate_low = float(rate_low)
+        self.rate_high = float(rate_high)
+        self.mean_dwell_low = float(mean_dwell_low)
+        self.mean_dwell_high = float(mean_dwell_high)
+        self._rng = rng
+        self._in_high = False
+        self._dwell_remaining = float(rng.exponential(mean_dwell_low))
+
+    @property
+    def mean_rate(self) -> float:
+        """Long-run average arrival rate."""
+        total = self.mean_dwell_low + self.mean_dwell_high
+        return (
+            self.rate_low * self.mean_dwell_low
+            + self.rate_high * self.mean_dwell_high
+        ) / total
+
+    @staticmethod
+    def with_mean_rate(
+        mean_rate: float,
+        burst_ratio: float,
+        mean_dwell: float,
+        rng: np.random.Generator,
+        high_fraction: float = 0.2,
+    ) -> "MMPP2Arrivals":
+        """Construct an MMPP2 with a target mean rate.
+
+        ``burst_ratio`` is rate_high / rate_low; ``high_fraction`` is the
+        fraction of time spent in the high state.
+        """
+        require_positive(mean_rate, "mean_rate")
+        require(burst_ratio >= 1.0, "burst_ratio must be >= 1")
+        require(0.0 < high_fraction < 1.0, "high_fraction must be in (0, 1)")
+        # mean = rl*(1-f) + rh*f with rh = ratio*rl.
+        rate_low = mean_rate / ((1.0 - high_fraction) + burst_ratio * high_fraction)
+        rate_high = burst_ratio * rate_low
+        return MMPP2Arrivals(
+            rate_low=rate_low,
+            rate_high=rate_high,
+            mean_dwell_low=mean_dwell * (1.0 - high_fraction) / high_fraction,
+            mean_dwell_high=mean_dwell,
+            rng=rng,
+        )
+
+    def _current_rate(self) -> float:
+        return self.rate_high if self._in_high else self.rate_low
+
+    def _switch(self) -> None:
+        self._in_high = not self._in_high
+        mean_dwell = self.mean_dwell_high if self._in_high else self.mean_dwell_low
+        self._dwell_remaining = float(self._rng.exponential(mean_dwell))
+
+    def next_interarrival(self) -> float:
+        """Sample across state switches until an arrival lands."""
+        elapsed = 0.0
+        while True:
+            candidate = float(self._rng.exponential(1.0 / self._current_rate()))
+            if candidate <= self._dwell_remaining:
+                self._dwell_remaining -= candidate
+                return elapsed + candidate
+            elapsed += self._dwell_remaining
+            self._switch()
+
+
+class NHPPArrivals(ArrivalProcess):
+    """Non-homogeneous Poisson process via Lewis–Shedler thinning.
+
+    ``rate_fn(t)`` gives the instantaneous rate; ``max_rate`` must bound
+    it from above over the whole horizon (candidates are generated at
+    ``max_rate`` and accepted with probability ``rate_fn(t)/max_rate``).
+    Used for diurnal load patterns.
+    """
+
+    def __init__(self, rate_fn, max_rate: float, rng: np.random.Generator) -> None:
+        require_positive(max_rate, "max_rate")
+        self.rate_fn = rate_fn
+        self.max_rate = float(max_rate)
+        self._rng = rng
+        self._now = 0.0
+
+    def next_interarrival(self) -> float:
+        start = self._now
+        while True:
+            self._now += float(self._rng.exponential(1.0 / self.max_rate))
+            rate = float(self.rate_fn(self._now))
+            if rate < 0 or rate > self.max_rate * (1.0 + 1e-9):
+                raise SimulationError(
+                    f"rate_fn({self._now:.3f}) = {rate} outside [0, max_rate]"
+                )
+            if self._rng.random() < rate / self.max_rate:
+                return self._now - start
+
+
+def diurnal_arrivals(
+    base_rate: float,
+    amplitude: float,
+    period: float,
+    rng: np.random.Generator,
+    phase: float = 0.0,
+) -> NHPPArrivals:
+    """Sinusoidal 'day/night' load: rate(t) = base * (1 + a·sin(2πt/T + φ)).
+
+    ``amplitude`` in [0, 1); the mean rate over a full period is
+    ``base_rate``.
+    """
+    require_positive(base_rate, "base_rate")
+    require(0.0 <= amplitude < 1.0, "amplitude must be in [0, 1)")
+    require_positive(period, "period")
+    two_pi = 2.0 * np.pi
+
+    def rate_fn(t: float) -> float:
+        return base_rate * (1.0 + amplitude * np.sin(two_pi * t / period + phase))
+
+    return NHPPArrivals(rate_fn, base_rate * (1.0 + amplitude), rng)
+
+
+class TraceArrivals(ArrivalProcess):
+    """Replays an explicit, sorted sequence of arrival timestamps."""
+
+    def __init__(self, times: Sequence[float]) -> None:
+        arr = np.asarray(times, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ConfigurationError("times must be a 1-D sequence")
+        if arr.size and (np.any(np.diff(arr) < 0) or arr[0] < 0):
+            raise ConfigurationError("times must be sorted and non-negative")
+        self._times = arr
+        self._cursor = 0
+        self._last = 0.0
+
+    def next_interarrival(self) -> float:
+        if self._cursor >= self._times.shape[0]:
+            return float("inf")
+        gap = float(self._times[self._cursor] - self._last)
+        self._last = float(self._times[self._cursor])
+        self._cursor += 1
+        if gap < 0:
+            raise SimulationError("trace went backwards")
+        return gap
+
+    def reset(self) -> None:
+        self._cursor = 0
+        self._last = 0.0

@@ -1,0 +1,184 @@
+"""Cluster-level simulation: partitioned search with fan-out aggregation.
+
+A web-search cluster partitions the index across many ISNs; every query
+fans out to *all* partitions and the aggregator can only respond when
+the **slowest** shard replies. This max-of-N structure amplifies tail
+latency with cluster size — the "tail at scale" effect — and is the
+reason the paper targets the P99 of a single ISN: a per-node tail
+improvement compounds at the aggregator.
+
+:class:`ClusterModel` instantiates N independent
+:class:`~repro.sim.server.IndexServerModel` shards over one simulator.
+Each cluster query draws an independent cost-table row per shard
+(different partitions do different work for the same query) and is
+recorded when its last shard response lands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.policies.base import ParallelismPolicy
+from repro.sim.arrivals import ArrivalProcess, PoissonArrivals
+from repro.sim.engine import Simulator
+from repro.sim.metrics import MetricsCollector, QueryRecord
+from repro.sim.oracle import ServiceOracle
+from repro.sim.server import IndexServerModel
+from repro.util.rng import make_rng
+from repro.util.validation import require, require_int_in_range, require_positive
+
+
+class _InFlight:
+    """Join state for one fanned-out cluster query."""
+
+    __slots__ = ("arrival", "remaining", "last_completion")
+
+    def __init__(self, arrival: float, n_shards: int) -> None:
+        self.arrival = arrival
+        self.remaining = n_shards
+        self.last_completion = arrival
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Cluster topology and load-point parameters.
+
+    ``rate`` is the *cluster* query rate; every query hits all shards,
+    so each shard also sees ``rate`` queries per second.
+    ``aggregation_overhead`` models the merge/network step after the
+    last shard responds.
+    """
+
+    n_shards: int = 8
+    n_cores_per_shard: int = 12
+    rate: float = 1_000.0
+    duration: float = 20.0
+    warmup: float = 4.0
+    aggregation_overhead: float = 200e-6
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        require_int_in_range(self.n_shards, "n_shards", low=1)
+        require_int_in_range(self.n_cores_per_shard, "n_cores_per_shard", low=1)
+        require_positive(self.rate, "rate")
+        require_positive(self.duration, "duration")
+        require(0 <= self.warmup < self.duration, "need 0 <= warmup < duration")
+        require(self.aggregation_overhead >= 0, "aggregation_overhead must be >= 0")
+
+
+@dataclass(frozen=True)
+class ClusterSummary:
+    """End-to-end (aggregated) latency statistics of a cluster run."""
+
+    policy: str
+    n_shards: int
+    rate: float
+    observed: int
+    mean_latency: float
+    p50_latency: float
+    p95_latency: float
+    p99_latency: float
+    shard_p99_latency: float  # P99 of individual shard responses
+    tail_amplification: float  # cluster P99 / shard P99
+
+
+def run_cluster_point(
+    oracle: ServiceOracle,
+    policy_factory,
+    config: ClusterConfig,
+    arrivals: Optional[ArrivalProcess] = None,
+) -> ClusterSummary:
+    """Simulate one cluster load point.
+
+    ``policy_factory`` is called once per shard — policies may be
+    stateful (e.g. EWMA variants), so shards must not share an instance.
+    """
+    rng = make_rng(config.seed)
+    arrival_rng = np.random.default_rng(rng.integers(2**63))
+    sample_rng = np.random.default_rng(rng.integers(2**63))
+    if arrivals is None:
+        arrivals = PoissonArrivals(config.rate, arrival_rng)
+
+    simulator = Simulator()
+    in_flight: Dict[int, _InFlight] = {}
+    cluster_latencies: List[float] = []
+    shard_latencies: List[float] = []
+
+    def on_shard_complete(record: QueryRecord, tag) -> None:
+        state = in_flight.get(tag)
+        if state is None:
+            return
+        state.remaining -= 1
+        state.last_completion = max(state.last_completion, record.completion)
+        if state.remaining == 0:
+            del in_flight[tag]
+            if state.arrival >= config.warmup:
+                end = state.last_completion + config.aggregation_overhead
+                cluster_latencies.append(end - state.arrival)
+        if record.arrival >= config.warmup:
+            shard_latencies.append(record.latency)
+
+    shards: List[IndexServerModel] = []
+    policy_name = None
+    for shard_id in range(config.n_shards):
+        policy: ParallelismPolicy = policy_factory()
+        policy_name = policy.name
+        metrics = MetricsCollector(
+            warmup=config.warmup,
+            horizon=config.duration,
+            n_cores=config.n_cores_per_shard,
+        )
+        shards.append(
+            IndexServerModel(
+                simulator,
+                oracle,
+                policy,
+                config.n_cores_per_shard,
+                metrics,
+                on_query_complete=on_shard_complete,
+            )
+        )
+
+    n_queries = oracle.n_queries
+    next_tag = [0]
+
+    def arrive() -> None:
+        tag = next_tag[0]
+        next_tag[0] += 1
+        in_flight[tag] = _InFlight(simulator.now, config.n_shards)
+        for shard in shards:
+            # Independent work per partition for the same logical query.
+            shard.submit(int(sample_rng.integers(n_queries)), tag=tag)
+        schedule_next()
+
+    def schedule_next() -> None:
+        gap = arrivals.next_interarrival()
+        if not np.isfinite(gap) or simulator.now + gap > config.duration:
+            return
+        simulator.schedule(gap, arrive)
+
+    schedule_next()
+    simulator.run(until=config.duration)
+    drain_limit = config.duration * 10.0
+    while in_flight and simulator.now < drain_limit and simulator.pending_events:
+        simulator.step()
+
+    cluster = np.asarray(cluster_latencies, dtype=np.float64)
+    shard_arr = np.asarray(shard_latencies, dtype=np.float64)
+    cluster_p99 = float(np.percentile(cluster, 99)) if cluster.size else float("nan")
+    shard_p99 = float(np.percentile(shard_arr, 99)) if shard_arr.size else float("nan")
+    return ClusterSummary(
+        policy=policy_name or "unknown",
+        n_shards=config.n_shards,
+        rate=config.rate,
+        observed=int(cluster.size),
+        mean_latency=float(cluster.mean()) if cluster.size else float("nan"),
+        p50_latency=float(np.percentile(cluster, 50)) if cluster.size else float("nan"),
+        p95_latency=float(np.percentile(cluster, 95)) if cluster.size else float("nan"),
+        p99_latency=cluster_p99,
+        shard_p99_latency=shard_p99,
+        tail_amplification=cluster_p99 / shard_p99 if shard_p99 else float("nan"),
+    )

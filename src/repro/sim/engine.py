@@ -1,0 +1,84 @@
+"""Minimal discrete-event simulator core.
+
+A binary-heap event loop with deterministic ordering: events at equal
+times fire in scheduling order (a monotone sequence number breaks ties),
+so simulations are exactly reproducible for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+EventCallback = Callable[[], None]
+
+
+class Simulator:
+    """Event loop with virtual time."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._sequence = 0
+        self._heap: List[Tuple[float, int, EventCallback]] = []
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap)
+
+    @property
+    def processed_events(self) -> int:
+        return self._processed
+
+    def schedule_at(self, time: float, callback: EventCallback) -> None:
+        """Schedule ``callback`` at absolute virtual ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: {time} < now {self._now}"
+            )
+        heapq.heappush(self._heap, (time, self._sequence, callback))
+        self._sequence += 1
+
+    def schedule(self, delay: float, callback: EventCallback) -> None:
+        """Schedule ``callback`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        self.schedule_at(self._now + delay, callback)
+
+    def step(self) -> bool:
+        """Process one event; returns False if none remain."""
+        if not self._heap:
+            return False
+        time, _, callback = heapq.heappop(self._heap)
+        self._now = time
+        self._processed += 1
+        callback()
+        return True
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the event queue drains or virtual time passes ``until``.
+
+        With a horizon, events scheduled beyond it remain queued and
+        ``now`` is advanced exactly to the horizon.
+        """
+        if until is None:
+            while self.step():
+                pass
+            return
+        if until < self._now:
+            raise SimulationError(f"horizon {until} is before now {self._now}")
+        while self._heap and self._heap[0][0] <= until:
+            self.step()
+        self._now = until
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={self._now:.6f}, pending={self.pending_events}, "
+            f"processed={self._processed})"
+        )

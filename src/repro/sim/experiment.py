@@ -1,0 +1,199 @@
+"""One simulated load point: drive arrivals into the server, summarize.
+
+:func:`run_load_point` wires workload → server → metrics for a single
+(policy, arrival-process) combination and returns a
+:class:`LoadPointSummary`. Load sweeps in the harness call it per rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.policies.base import ParallelismPolicy
+from repro.sim.arrivals import ArrivalProcess, PoissonArrivals
+from repro.sim.engine import Simulator
+from repro.sim.metrics import MetricsCollector
+from repro.sim.oracle import ServiceOracle
+from repro.sim.server import IndexServerModel
+from repro.util.rng import make_rng
+from repro.util.validation import require, require_int_in_range, require_positive
+
+
+@dataclass(frozen=True)
+class LoadPointConfig:
+    """Parameters of one simulated load point."""
+
+    rate: float  # mean arrival rate (QPS); ignored if `arrivals` is given
+    duration: float = 30.0  # simulated horizon (seconds)
+    warmup: float = 5.0  # stats discarded before this time
+    n_cores: int = 12
+    seed: int = 0
+    #: Cap grants at the query's plan size (see IndexServerModel).
+    clamp_to_plan: bool = False
+
+    def __post_init__(self) -> None:
+        require_positive(self.rate, "rate")
+        require_positive(self.duration, "duration")
+        require(0 <= self.warmup < self.duration, "need 0 <= warmup < duration")
+        require_int_in_range(self.n_cores, "n_cores", low=1)
+
+
+@dataclass(frozen=True)
+class LoadPointSummary:
+    """Measured statistics of one load point."""
+
+    policy: str
+    rate: float
+    n_cores: int
+    offered_utilization: float  # rate * E[t1] / cores (sequential work)
+    observed: int
+    throughput: float
+    utilization: float
+    mean_latency: float
+    p50_latency: float
+    p95_latency: float
+    p99_latency: float
+    mean_queue_delay: float
+    mean_degree: float
+    degree_histogram: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def saturated(self) -> bool:
+        """Heuristic: the point is past capacity if measured throughput
+        lags the offered rate by more than 5%."""
+        return self.throughput < 0.95 * self.rate
+
+
+def run_load_point(
+    oracle: ServiceOracle,
+    policy: ParallelismPolicy,
+    config: LoadPointConfig,
+    arrivals: Optional[ArrivalProcess] = None,
+) -> LoadPointSummary:
+    """Simulate one load point and summarize it."""
+    rng = make_rng(config.seed)
+    arrival_rng = np.random.default_rng(rng.integers(2**63))
+    sample_rng = np.random.default_rng(rng.integers(2**63))
+    if arrivals is None:
+        arrivals = PoissonArrivals(config.rate, arrival_rng)
+
+    simulator = Simulator()
+    metrics = MetricsCollector(config.warmup, config.duration, config.n_cores)
+    server = IndexServerModel(
+        simulator, oracle, policy, config.n_cores, metrics,
+        clamp_to_plan=config.clamp_to_plan,
+    )
+
+    n_queries = oracle.n_queries
+
+    def arrive() -> None:
+        server.submit(int(sample_rng.integers(n_queries)))
+        schedule_next()
+
+    def schedule_next() -> None:
+        gap = arrivals.next_interarrival()
+        if math.isinf(gap):
+            return
+        # Stop generating arrivals at the horizon; queries already in
+        # flight drain below so the slow tail is never censored.
+        if simulator.now + gap > config.duration:
+            return
+        simulator.schedule(gap, arrive)
+
+    schedule_next()
+    simulator.run(until=config.duration)
+    # Drain in-flight work (bounded, so an overloaded point cannot spin
+    # forever: past 9x the horizon the remaining jobs are dropped from
+    # the statistics — they only exist in deeply saturated sweeps).
+    drain_limit = config.duration * 10.0
+    while (
+        server.n_running or server.queue_length
+    ) and simulator.now < drain_limit and simulator.pending_events:
+        simulator.step()
+
+    queue_delays = metrics.queue_delays()
+    offered = config.rate * oracle.mean_sequential_latency() / config.n_cores
+    return _summarize(metrics, policy, config, offered, queue_delays)
+
+
+def _summarize(metrics, policy, config, offered, queue_delays):
+    return LoadPointSummary(
+        policy=policy.name,
+        rate=config.rate,
+        n_cores=config.n_cores,
+        offered_utilization=offered,
+        observed=metrics.n_observed,
+        throughput=metrics.throughput(),
+        utilization=metrics.utilization(),
+        mean_latency=metrics.mean_latency(),
+        p50_latency=metrics.latency_percentile(50),
+        p95_latency=metrics.latency_percentile(95),
+        p99_latency=metrics.latency_percentile(99),
+        mean_queue_delay=float(queue_delays.mean()) if queue_delays.size else float("nan"),
+        mean_degree=metrics.mean_degree(),
+        degree_histogram=metrics.degree_histogram(),
+    )
+
+
+def run_trace_point(
+    oracle: ServiceOracle,
+    policy: ParallelismPolicy,
+    arrival_times,
+    query_indices=None,
+    n_cores: int = 12,
+    warmup: float = 0.0,
+):
+    """Replay an explicit trace: ``query_indices[i]`` (a row of the cost
+    table) arrives at ``arrival_times[i]``.
+
+    ``query_indices`` defaults to ``0..len(times)-1`` (one table row per
+    arrival); passing explicit indices lets a long trace draw from a
+    smaller measured query pool, as real traces repeat queries.
+
+    Unlike :func:`run_load_point`, the request stream is fully
+    deterministic, so two policies can be compared on identical inputs.
+    Returns ``(summary, records)`` — the per-query records allow windowed
+    (time-varying) analysis, e.g. under diurnal load.
+    """
+    times = np.asarray(arrival_times, dtype=np.float64)
+    if query_indices is None:
+        indices = np.arange(times.shape[0], dtype=np.int64)
+    else:
+        indices = np.asarray(query_indices, dtype=np.int64)
+    if times.shape[0] != indices.shape[0]:
+        raise ValueError(
+            f"trace has {times.shape[0]} arrivals but {indices.shape[0]} "
+            "query indices"
+        )
+    if times.shape[0] == 0:
+        raise ValueError("trace must contain at least one arrival")
+    if np.any(np.diff(times) < 0) or times[0] < 0:
+        raise ValueError("arrival times must be sorted and non-negative")
+    if indices.shape[0] and (
+        indices.min() < 0 or indices.max() >= oracle.n_queries
+    ):
+        raise ValueError("query indices outside the cost table")
+
+    horizon = float(times[-1])
+    effective_horizon = max(horizon, warmup + 1e-9) + 1e-9
+    simulator = Simulator()
+    metrics = MetricsCollector(warmup, effective_horizon, n_cores)
+    server = IndexServerModel(simulator, oracle, policy, n_cores, metrics)
+    for t, qi in zip(times, indices):
+        simulator.schedule_at(float(t), lambda qi=int(qi): server.submit(qi))
+    simulator.run()
+
+    queue_delays = metrics.queue_delays()
+    mean_rate = times.shape[0] / effective_horizon
+    offered = mean_rate * oracle.mean_sequential_latency() / n_cores
+    config = LoadPointConfig(
+        rate=mean_rate, duration=effective_horizon,
+        warmup=warmup, n_cores=n_cores,
+    )
+    summary = _summarize(metrics, policy, config, offered, queue_delays)
+    records = sorted(metrics.records, key=lambda r: r.arrival)
+    return summary, records

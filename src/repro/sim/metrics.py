@@ -1,0 +1,142 @@
+"""Metrics collection for simulated load points.
+
+Records one row per completed query (arrival, start, completion, granted
+degree) plus core-busy integrals, with warmup discarding, and summarizes
+into the statistics the experiments report (mean / percentile latency,
+queueing delay, throughput, utilization, degree mix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """Lifecycle of one completed query."""
+
+    query_index: int
+    arrival: float
+    start: float
+    completion: float
+    degree: int
+
+    @property
+    def latency(self) -> float:
+        return self.completion - self.arrival
+
+    @property
+    def queue_delay(self) -> float:
+        return self.start - self.arrival
+
+    @property
+    def service_time(self) -> float:
+        return self.completion - self.start
+
+
+class MetricsCollector:
+    """Accumulates query records and core-busy time within a window.
+
+    The measurement window is ``[warmup, horizon]``; queries *arriving*
+    before the warmup cutoff are excluded from latency statistics, and
+    busy-core time is clipped to the window for utilization.
+    """
+
+    def __init__(self, warmup: float, horizon: float, n_cores: int) -> None:
+        if warmup < 0 or horizon <= warmup:
+            raise SimulationError(
+                f"need 0 <= warmup < horizon, got warmup={warmup}, horizon={horizon}"
+            )
+        self.warmup = float(warmup)
+        self.horizon = float(horizon)
+        self.n_cores = int(n_cores)
+        self.records: List[QueryRecord] = []
+        self.busy_core_seconds = 0.0
+        self.n_arrivals = 0
+        self.n_completions = 0
+        self.n_completed_in_window = 0
+
+    # ----------------------------------------------------------------
+    # Recording (called by the server model)
+    # ----------------------------------------------------------------
+
+    def on_arrival(self) -> None:
+        self.n_arrivals += 1
+
+    def on_completion(self, record: QueryRecord) -> None:
+        """Record a completion.
+
+        Latency statistics cover every query *arriving* inside the
+        window, even if it completes after the horizon (the load driver
+        drains in-flight queries to avoid censoring the slow tail);
+        throughput counts completions falling inside the window.
+        """
+        self.n_completions += 1
+        if record.arrival >= self.warmup:
+            self.records.append(record)
+        if self.warmup <= record.completion <= self.horizon:
+            self.n_completed_in_window += 1
+
+    def on_core_usage(self, start: float, end: float, cores: int) -> None:
+        """Account ``cores`` busy during [start, end], clipped to window."""
+        lo = max(start, self.warmup)
+        hi = min(end, self.horizon)
+        if hi > lo:
+            self.busy_core_seconds += cores * (hi - lo)
+
+    # ----------------------------------------------------------------
+    # Summaries
+    # ----------------------------------------------------------------
+
+    @property
+    def window(self) -> float:
+        return self.horizon - self.warmup
+
+    @property
+    def n_observed(self) -> int:
+        return len(self.records)
+
+    def latencies(self) -> np.ndarray:
+        return np.asarray([r.latency for r in self.records], dtype=np.float64)
+
+    def queue_delays(self) -> np.ndarray:
+        return np.asarray([r.queue_delay for r in self.records], dtype=np.float64)
+
+    def degrees(self) -> np.ndarray:
+        return np.asarray([r.degree for r in self.records], dtype=np.int64)
+
+    def latency_percentile(self, q: float) -> float:
+        lat = self.latencies()
+        if lat.size == 0:
+            return float("nan")
+        return float(np.percentile(lat, q))
+
+    def mean_latency(self) -> float:
+        lat = self.latencies()
+        return float(lat.mean()) if lat.size else float("nan")
+
+    def throughput(self) -> float:
+        """Completed queries per second inside the window."""
+        return self.n_completed_in_window / self.window
+
+    def utilization(self) -> float:
+        """Mean fraction of cores busy inside the window."""
+        return self.busy_core_seconds / (self.n_cores * self.window)
+
+    def degree_histogram(self) -> Dict[int, float]:
+        """Fraction of observed queries granted each degree."""
+        degrees = self.degrees()
+        if degrees.size == 0:
+            return {}
+        values, counts = np.unique(degrees, return_counts=True)
+        total = float(degrees.size)
+        return {int(v): float(c) / total for v, c in zip(values, counts)}
+
+    def mean_degree(self) -> float:
+        degrees = self.degrees()
+        return float(degrees.mean()) if degrees.size else float("nan")

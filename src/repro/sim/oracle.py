@@ -1,0 +1,96 @@
+"""Service oracle: the simulator's view of query execution costs.
+
+The discrete-event server does not run the engine inline; it replays the
+per-query, per-degree virtual-time measurements captured in a
+:class:`~repro.profiles.measurement.QueryCostTable`. The oracle also
+carries optional predicted latencies (for the predictive policy) and
+answers "what is the largest measured degree <= d" so grants clamp onto
+the measured grid.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.policies.base import QueryInfo
+from repro.profiles.measurement import QueryCostTable
+
+
+class ServiceOracle:
+    """Query cost lookups for the simulated ISN."""
+
+    def __init__(
+        self,
+        table: QueryCostTable,
+        predicted_latencies: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.table = table
+        self.degrees = table.degrees
+        self._sorted_degrees = np.asarray(sorted(self.degrees), dtype=np.int64)
+        if predicted_latencies is not None:
+            predictions = np.asarray(predicted_latencies, dtype=np.float64)
+            if predictions.shape[0] != table.n_queries:
+                raise SimulationError(
+                    "predicted_latencies must align with the cost table"
+                )
+            self.predicted = predictions
+        else:
+            self.predicted = None
+        self._t1 = table.sequential_latencies()
+
+    @property
+    def n_queries(self) -> int:
+        return self.table.n_queries
+
+    @property
+    def max_degree(self) -> int:
+        return int(self._sorted_degrees[-1])
+
+    def clamp_degree(self, degree: int) -> int:
+        """Largest measured degree <= ``degree`` (at least 1)."""
+        if degree < 1:
+            raise SimulationError(f"degree must be >= 1, got {degree}")
+        idx = int(np.searchsorted(self._sorted_degrees, degree, side="right")) - 1
+        if idx < 0:
+            raise SimulationError("cost table does not include degree 1")
+        return int(self._sorted_degrees[idx])
+
+    def latency(self, query_index: int, degree: int) -> float:
+        """Virtual service time of the query at a *measured* degree."""
+        return self.table.latency_of(query_index, degree)
+
+    def sequential_latency(self, query_index: int) -> float:
+        return float(self._t1[query_index])
+
+    def plan_chunk_limit(self, query_index: int) -> int:
+        """Useful-parallelism bound: the query's sequential chunk count.
+
+        A query whose sequential run terminates after ``c`` chunks keeps
+        at most ~``c`` workers productively busy; a wider gang claims
+        speculative chunks (wasting CPU) while the reserved extra cores
+        add no speedup. The simulated clamp uses the oracle's measured
+        count; a deployed system would approximate it with the same
+        pre-execution features the latency predictor uses.
+        """
+        sequential = self.table.degree_column(1)
+        return max(1, int(self.table.chunks[query_index, sequential]))
+
+    def info(self, query_index: int) -> QueryInfo:
+        """Policy-visible information for one query."""
+        query = self.table.queries[query_index]
+        return QueryInfo(
+            query_id=query.query_id,
+            n_terms=query.n_terms,
+            predicted_sequential_latency=(
+                float(self.predicted[query_index])
+                if self.predicted is not None
+                else None
+            ),
+            true_sequential_latency=float(self._t1[query_index]),
+        )
+
+    def mean_sequential_latency(self) -> float:
+        return float(self._t1.mean())

@@ -1,0 +1,200 @@
+"""The simulated multicore index-serving node.
+
+Dispatch model (mirrors the paper's system):
+
+* arriving queries join a FIFO dispatch queue;
+* whenever at least one core is free and the queue is non-empty, the
+  head query is dispatched: the configured policy observes the current
+  :class:`~repro.policies.base.SystemState` and requests a degree, which
+  the server clamps to the cores actually free and to the measured
+  degree grid;
+* a degree-``p`` query occupies ``p`` cores for its measured
+  degree-``p`` virtual latency (gang execution — the engine's worker
+  threads span the query's lifetime);
+* on completion the cores are released and dispatch continues.
+
+Incremental ("few-to-many") policies yield two-phase jobs: a sequential
+probe, then — if the query outlives the probe — an escalation to the
+load-chosen degree using whatever cores are free at that moment.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.errors import SimulationError
+from repro.policies.base import ParallelismPolicy, SystemState
+from repro.sim.engine import Simulator
+from repro.sim.metrics import MetricsCollector, QueryRecord
+from repro.sim.oracle import ServiceOracle
+from repro.util.validation import require_int_in_range
+
+
+class _Job:
+    """In-flight query state."""
+
+    __slots__ = (
+        "query_index",
+        "arrival",
+        "start",
+        "cores_held",
+        "max_degree_used",
+        "escalation_degree",
+        "probe_time",
+        "tag",
+    )
+
+    def __init__(self, query_index: int, arrival: float, tag=None) -> None:
+        self.query_index = query_index
+        self.arrival = arrival
+        self.tag = tag
+        self.start: Optional[float] = None
+        self.cores_held = 0
+        self.max_degree_used = 0
+        # Escalation plan (incremental policies only).
+        self.escalation_degree: Optional[int] = None
+        self.probe_time: Optional[float] = None
+
+
+class IndexServerModel:
+    """FIFO multicore server with policy-driven intra-query parallelism."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        oracle: ServiceOracle,
+        policy: ParallelismPolicy,
+        n_cores: int,
+        metrics: MetricsCollector,
+        on_query_complete=None,
+        clamp_to_plan: bool = False,
+    ) -> None:
+        require_int_in_range(n_cores, "n_cores", low=1)
+        self.simulator = simulator
+        self.oracle = oracle
+        self.policy = policy
+        self.n_cores = n_cores
+        self.metrics = metrics
+        # When set, grants are additionally capped at the query's plan
+        # size (its claimable chunk count): a 2-chunk query granted 12
+        # workers would strand 10 reserved cores for its whole duration.
+        self.clamp_to_plan = clamp_to_plan
+        # Optional hook fired with each QueryRecord and the submit tag;
+        # the cluster aggregator uses it to join shard responses.
+        self.on_query_complete = on_query_complete
+        self._queue: Deque[_Job] = deque()
+        self.free_cores = n_cores
+        self.n_running = 0
+
+    # ----------------------------------------------------------------
+    # External interface
+    # ----------------------------------------------------------------
+
+    def submit(self, query_index: int, tag=None) -> None:
+        """A query arrives now. ``tag`` is opaque correlation state passed
+        to ``on_query_complete`` (used by the cluster aggregator)."""
+        self.metrics.on_arrival()
+        self._queue.append(_Job(query_index, self.simulator.now, tag))
+        self._dispatch()
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    # ----------------------------------------------------------------
+    # Dispatch
+    # ----------------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        while self._queue and self.free_cores >= 1:
+            job = self._queue.popleft()
+            state = SystemState(
+                now=self.simulator.now,
+                n_queued=len(self._queue),
+                n_running=self.n_running,
+                free_cores=self.free_cores,
+                n_cores=self.n_cores,
+            )
+            info = self.oracle.info(job.query_index)
+            requested = self.policy.choose_degree(state, info)
+            cap = min(requested, self.free_cores)
+            if self.clamp_to_plan:
+                cap = min(cap, self.oracle.plan_chunk_limit(job.query_index))
+            granted = self.oracle.clamp_degree(max(1, cap))
+            job.start = self.simulator.now
+            self.n_running += 1
+
+            probe = getattr(self.policy, "probe_time", None)
+            t1 = self.oracle.sequential_latency(job.query_index)
+            if probe is not None:
+                # Incremental execution: everything starts sequentially.
+                # Queries that outlive the probe escalate to `granted`
+                # workers (re-clamped at escalation time); shorter ones
+                # finish inside the probe and never pay parallel costs.
+                if granted > 1 and t1 > probe:
+                    job.probe_time = float(probe)
+                    job.escalation_degree = granted
+                    self._start_phase(job, degree=1, duration=float(probe))
+                else:
+                    self._start_phase(job, degree=1, duration=t1)
+            else:
+                duration = self.oracle.latency(job.query_index, granted)
+                self._start_phase(job, degree=granted, duration=duration)
+
+    def _start_phase(self, job: _Job, degree: int, duration: float) -> None:
+        if degree > self.free_cores:
+            raise SimulationError(
+                f"phase needs {degree} cores but only {self.free_cores} free"
+            )
+        if duration < 0:
+            raise SimulationError(f"negative phase duration {duration}")
+        self.free_cores -= degree
+        job.cores_held = degree
+        job.max_degree_used = max(job.max_degree_used, degree)
+        now = self.simulator.now
+        self.metrics.on_core_usage(now, now + duration, degree)
+        self.simulator.schedule(duration, lambda: self._phase_end(job))
+
+    def _phase_end(self, job: _Job) -> None:
+        self.free_cores += job.cores_held
+        job.cores_held = 0
+        if job.escalation_degree is not None:
+            self._escalate(job)
+        else:
+            self._complete(job)
+        self._dispatch()
+
+    def _escalate(self, job: _Job) -> None:
+        """The probe elapsed and the query is still running: widen it."""
+        target = job.escalation_degree
+        probe = job.probe_time
+        job.escalation_degree = None
+        job.probe_time = None
+        t1 = self.oracle.sequential_latency(job.query_index)
+        # Grab up to `target` cores, but never stall: at worst continue
+        # sequentially on the one core the probe was using.
+        actual = self.oracle.clamp_degree(max(1, min(target, self.free_cores)))
+        remaining_fraction = max(0.0, 1.0 - probe / t1)
+        if actual == 1:
+            duration = t1 * remaining_fraction
+        else:
+            # Approximation (documented in DESIGN.md): the remaining work
+            # parallelizes like the whole query does at this degree.
+            duration = self.oracle.latency(job.query_index, actual) * remaining_fraction
+        self._start_phase(job, degree=actual, duration=duration)
+
+    def _complete(self, job: _Job) -> None:
+        self.n_running -= 1
+        if self.n_running < 0 or not 0 <= self.free_cores <= self.n_cores:
+            raise SimulationError("core accounting went inconsistent")
+        record = QueryRecord(
+            query_index=job.query_index,
+            arrival=job.arrival,
+            start=float(job.start if job.start is not None else job.arrival),
+            completion=self.simulator.now,
+            degree=job.max_degree_used,
+        )
+        self.metrics.on_completion(record)
+        if self.on_query_complete is not None:
+            self.on_query_complete(record, job.tag)

@@ -1,0 +1,7 @@
+"""Text substrate: term-frequency models, vocabulary, tokenization."""
+
+from repro.text.tokenizer import Tokenizer
+from repro.text.vocabulary import Vocabulary
+from repro.text.zipf import ZipfMandelbrot
+
+__all__ = ["Tokenizer", "Vocabulary", "ZipfMandelbrot"]

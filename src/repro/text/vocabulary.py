@@ -1,0 +1,79 @@
+"""Synthetic vocabulary: stable term ids with generated surface strings.
+
+The engine operates on integer term ids throughout; surface strings exist
+only so examples and debugging output read like search queries. Term id
+equals popularity rank (0 = most popular), which keeps corpus generation,
+index statistics, and query generation aligned on one convention.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.errors import ConfigurationError
+from repro.util.validation import require_int_in_range
+
+_CONSONANTS = "bcdfghjklmnprstvwz"
+_VOWELS = "aeiou"
+
+
+def _synth_word(index: int) -> str:
+    """Deterministically build a pronounceable pseudo-word for a term id."""
+    syllables: List[str] = []
+    value = index
+    while True:
+        consonant = _CONSONANTS[value % len(_CONSONANTS)]
+        value //= len(_CONSONANTS)
+        vowel = _VOWELS[value % len(_VOWELS)]
+        value //= len(_VOWELS)
+        syllables.append(consonant + vowel)
+        if value == 0:
+            break
+    return "".join(syllables)
+
+
+class Vocabulary:
+    """A fixed-size vocabulary mapping term ids <-> surface strings.
+
+    Term id is the popularity rank: id 0 is the most frequent term in the
+    synthetic corpus model. Strings are generated lazily and cached.
+    """
+
+    def __init__(self, size: int) -> None:
+        require_int_in_range(size, "size", low=1)
+        self.size = size
+        self._id_to_word: Dict[int, str] = {}
+        self._word_to_id: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __contains__(self, term_id: int) -> bool:
+        return 0 <= term_id < self.size
+
+    def word(self, term_id: int) -> str:
+        """Surface string for ``term_id``."""
+        require_int_in_range(term_id, "term_id", low=0, high=self.size - 1)
+        cached = self._id_to_word.get(term_id)
+        if cached is not None:
+            return cached
+        word = _synth_word(term_id)
+        # Disambiguate the rare syllable collisions by suffixing the id.
+        if word in self._word_to_id and self._word_to_id[word] != term_id:
+            word = f"{word}{term_id}"
+        self._id_to_word[term_id] = word
+        self._word_to_id[word] = term_id
+        return word
+
+    def term_id(self, word: str) -> int:
+        """Inverse lookup; only words previously produced are known."""
+        try:
+            return self._word_to_id[word]
+        except KeyError:
+            raise ConfigurationError(f"unknown word {word!r}") from None
+
+    def words(self, term_ids: Iterator[int]) -> List[str]:
+        return [self.word(t) for t in term_ids]
+
+    def __repr__(self) -> str:
+        return f"Vocabulary(size={self.size})"

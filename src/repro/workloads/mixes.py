@@ -1,0 +1,72 @@
+"""Named workload mixes.
+
+Web query streams differ by product surface and market: navigational
+traffic is short, head-heavy queries; long-tail informational traffic
+uses more and rarer terms. Each mix below is a
+:class:`~repro.workloads.queries.QueryWorkloadConfig` preset with the
+knobs that matter — term-popularity skew and term-count distribution —
+chosen to move the service-time distribution in a known direction.
+Experiment E15 measures how the adaptive policy's gains vary across
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.workloads.queries import QueryWorkloadConfig
+
+#: The default mix used everywhere else in the library.
+STANDARD = QueryWorkloadConfig()
+
+#: Navigational / head traffic: few, popular terms. Matches are
+#: abundant, the budget fills within a few chunks, service times are
+#: short and comparatively uniform — the least parallelism-friendly mix.
+NAVIGATIONAL = replace(
+    STANDARD,
+    term_zipf_exponent=1.6,
+    term_count_p=0.6,
+    max_terms=3,
+)
+
+#: Long-tail informational traffic: more terms, flatter popularity.
+#: Rare conjunctions force deep scans, stretching the service-time tail
+#: — the most parallelism-friendly mix.
+INFORMATIONAL = replace(
+    STANDARD,
+    term_zipf_exponent=0.9,
+    term_count_p=0.35,
+    max_terms=8,
+)
+
+#: Stress mix: flat term popularity and many terms per query; nearly
+#: every query is a deep scan. Used for worst-case capacity studies.
+STRESS = replace(
+    STANDARD,
+    term_zipf_exponent=0.7,
+    term_count_p=0.3,
+    max_terms=10,
+)
+
+MIXES: Dict[str, QueryWorkloadConfig] = {
+    "standard": STANDARD,
+    "navigational": NAVIGATIONAL,
+    "informational": INFORMATIONAL,
+    "stress": STRESS,
+}
+
+
+def get_mix(name: str, vocab_size: int = None, seed: int = None) -> QueryWorkloadConfig:
+    """Look up a mix by name, optionally re-targeting vocab/seed."""
+    try:
+        mix = MIXES[name]
+    except KeyError:
+        known = ", ".join(sorted(MIXES))
+        raise ConfigurationError(f"unknown mix {name!r}; known: {known}") from None
+    if vocab_size is not None:
+        mix = replace(mix, vocab_size=vocab_size)
+    if seed is not None:
+        mix = replace(mix, seed=seed)
+    return mix

@@ -1,0 +1,99 @@
+"""Topic-coherent query generation for topical corpora.
+
+Users query about *a topic*, not about independent random words. Given
+a :class:`~repro.corpus.topical.TopicModel`, this generator picks a
+topic per query and draws the query's terms from that topic's
+distribution (falling back to the background for a small off-topic
+fraction), so conjunctive matches are governed by topical
+co-occurrence rather than popularity products.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.corpus.topical import TopicModel
+from repro.engine.query import Query
+from repro.util.rng import make_rng
+from repro.util.validation import require_in_range, require_int_in_range
+from repro.workloads.queries import QueryWorkloadConfig
+
+
+class TopicalQueryGenerator:
+    """Endless stream of topic-coherent queries."""
+
+    def __init__(
+        self,
+        model: TopicModel,
+        config: Optional[QueryWorkloadConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+        off_topic_fraction: float = 0.15,
+        cross_topic_fraction: float = 0.3,
+    ) -> None:
+        require_in_range(
+            off_topic_fraction, "off_topic_fraction", low=0.0, high=1.0
+        )
+        require_in_range(
+            cross_topic_fraction, "cross_topic_fraction", low=0.0, high=1.0
+        )
+        self.model = model
+        self.config = config or QueryWorkloadConfig(
+            vocab_size=model.vocab_size
+        )
+        self._rng = rng or make_rng(self.config.seed)
+        self.off_topic_fraction = off_topic_fraction
+        # Fraction of queries that straddle two topics. These are the
+        # "hard" queries of a topical stream: their terms rarely
+        # co-occur, so they scan deep — the tail of the service-time
+        # distribution, without which a topical workload degenerates
+        # into uniformly cheap queries.
+        self.cross_topic_fraction = cross_topic_fraction
+        self._next_id = 0
+
+    def sample_term_count(self) -> int:
+        count = int(self._rng.geometric(self.config.term_count_p))
+        return min(count, self.config.max_terms)
+
+    def sample(self) -> Query:
+        n_terms = self.sample_term_count()
+        first_topic = int(self._rng.integers(self.model.n_topics))
+        topics = [first_topic]
+        if (
+            n_terms > 1
+            and self.model.n_topics > 1
+            and self._rng.random() < self.cross_topic_fraction
+        ):
+            second = int(self._rng.integers(self.model.n_topics))
+            if second != first_topic:
+                topics.append(second)
+        terms: List[int] = []
+        seen = set()
+        attempts = 0
+        while len(terms) < n_terms and attempts < 50 * n_terms:
+            attempts += 1
+            if self._rng.random() < self.off_topic_fraction:
+                draw = int(self.model.background.sample(self._rng))
+            else:
+                topic = topics[len(terms) % len(topics)]
+                draw = int(self.model.sample_topic_terms(topic, self._rng, 1)[0])
+            if draw not in seen:
+                seen.add(draw)
+                terms.append(draw)
+        query = Query.of(
+            terms,
+            k=self.config.k,
+            mode=self.config.mode,
+            query_id=self._next_id,
+        )
+        self._next_id += 1
+        return query
+
+    def sample_many(self, n: int) -> List[Query]:
+        require_int_in_range(n, "n", low=0)
+        return [self.sample() for _ in range(n)]
+
+    def __iter__(self) -> Iterator[Query]:
+        while True:
+            yield self.sample()

@@ -1,0 +1,59 @@
+"""Shared fixtures: one small workbench/system per test session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus.generator import CorpusConfig, generate_corpus
+from repro.core.controller import AdaptiveSearchSystem, SystemConfig
+from repro.index.builder import IndexConfig, build_index
+from repro.workloads.workbench import WorkbenchConfig, build_workbench
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus():
+    """A very small corpus for index/engine unit tests."""
+    return generate_corpus(
+        CorpusConfig(n_docs=800, vocab_size=1_500, mean_doc_length=120, seed=11)
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_index(tiny_corpus):
+    return build_index(tiny_corpus, IndexConfig(chunk_size=64))
+
+
+@pytest.fixture(scope="session")
+def small_workbench():
+    """The standard small workbench (4k docs)."""
+    return build_workbench(WorkbenchConfig.small(seed=0))
+
+
+@pytest.fixture(scope="session")
+def small_engine(small_workbench):
+    return small_workbench.engine
+
+
+@pytest.fixture(scope="session")
+def sample_queries(small_workbench):
+    """A fixed sample of 60 realistic queries on the small workbench."""
+    return small_workbench.query_generator("test-queries").sample_many(60)
+
+
+@pytest.fixture(scope="session")
+def small_system(small_workbench):
+    """A profiled AdaptiveSearchSystem over the small workbench.
+
+    Degrees trimmed to keep profiling fast; 250 queries is enough for
+    stable class profiles at this scale.
+    """
+    return AdaptiveSearchSystem.from_workbench(
+        small_workbench,
+        SystemConfig(n_queries=250, degrees=(1, 2, 4, 8), n_cores=8, seed=0),
+    )
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

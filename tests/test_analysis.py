@@ -1,0 +1,199 @@
+"""Tests for the analysis subpackage."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.compare import PolicyComparison, find_crossover
+from repro.analysis.distributions import ecdf, histogram, lognormal_mle, tail_index_hill
+from repro.analysis.percentiles import P2QuantileEstimator, exact_percentile
+from repro.analysis.queueing_theory import (
+    erlang_c,
+    mg1_mean_wait,
+    mgc_mean_wait_allen_cunneen,
+    mmc_mean_queue_delay,
+    mmc_mean_response,
+)
+from repro.errors import AnalysisError
+from repro.sim.experiment import LoadPointSummary
+
+
+class TestExactPercentile:
+    def test_matches_numpy(self, rng):
+        samples = rng.random(500)
+        assert exact_percentile(samples, 73.5) == pytest.approx(
+            np.percentile(samples, 73.5)
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            exact_percentile([], 50)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(Exception):
+            exact_percentile([1.0], 101)
+
+
+class TestP2Estimator:
+    @pytest.mark.parametrize("quantile", [0.5, 0.9, 0.99])
+    def test_close_to_exact_on_uniform(self, quantile, rng):
+        estimator = P2QuantileEstimator(quantile)
+        samples = rng.random(20_000)
+        estimator.add_many(samples)
+        exact = np.percentile(samples, quantile * 100)
+        assert estimator.value() == pytest.approx(exact, abs=0.02)
+
+    def test_close_on_lognormal_median(self, rng):
+        estimator = P2QuantileEstimator(0.5)
+        samples = rng.lognormal(0.0, 1.0, 20_000)
+        estimator.add_many(samples)
+        exact = np.percentile(samples, 50)
+        assert estimator.value() == pytest.approx(exact, rel=0.05)
+
+    def test_small_sample_is_exact(self):
+        estimator = P2QuantileEstimator(0.5)
+        estimator.add_many([3.0, 1.0, 2.0])
+        assert estimator.value() == pytest.approx(2.0)
+
+    def test_count_tracked(self):
+        estimator = P2QuantileEstimator(0.9)
+        estimator.add_many(range(10))
+        assert estimator.count == 10
+
+    def test_no_samples_rejected(self):
+        with pytest.raises(AnalysisError):
+            P2QuantileEstimator(0.9).value()
+
+    def test_invalid_quantile_rejected(self):
+        with pytest.raises(Exception):
+            P2QuantileEstimator(0.0)
+        with pytest.raises(Exception):
+            P2QuantileEstimator(1.0)
+
+
+class TestDistributions:
+    def test_ecdf_monotone(self, rng):
+        xs, fs = ecdf(rng.random(100))
+        assert np.all(np.diff(xs) >= 0)
+        assert fs[-1] == 1.0
+
+    def test_histogram_counts_sum(self, rng):
+        counts, edges = histogram(rng.random(200), bins=10)
+        assert counts.sum() == 200
+        assert edges.shape == (11,)
+
+    def test_log_histogram(self, rng):
+        counts, edges = histogram(rng.lognormal(0, 2, 500), bins=8, log_bins=True)
+        assert np.all(np.diff(edges) > 0)
+        assert counts.sum() == 500
+
+    def test_lognormal_mle(self, rng):
+        mu, sigma = lognormal_mle(rng.lognormal(1.5, 0.5, 20_000))
+        assert mu == pytest.approx(1.5, abs=0.05)
+        assert sigma == pytest.approx(0.5, abs=0.05)
+
+    def test_hill_estimator_on_pareto(self, rng):
+        alpha = 2.5
+        samples = (1.0 / rng.random(50_000)) ** (1.0 / alpha)
+        assert tail_index_hill(samples, 0.05) == pytest.approx(alpha, rel=0.2)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(AnalysisError):
+            ecdf([])
+        with pytest.raises(AnalysisError):
+            lognormal_mle([])
+
+
+class TestQueueingTheory:
+    def test_erlang_c_known_value(self):
+        # Classic check: c=2, offered load a=1 (rho=0.5) => P(wait)=1/3.
+        assert erlang_c(arrival_rate=1.0, service_rate=1.0, servers=2) == (
+            pytest.approx(1.0 / 3.0)
+        )
+
+    def test_mm1_reduces_to_rho(self):
+        # For c=1, Erlang-C equals the utilization.
+        assert erlang_c(0.6, 1.0, 1) == pytest.approx(0.6)
+
+    def test_mm1_mean_wait(self):
+        # M/M/1: W_q = rho / (mu - lambda).
+        assert mmc_mean_queue_delay(0.5, 1.0, 1) == pytest.approx(0.5 / 0.5)
+
+    def test_response_adds_service(self):
+        wait = mmc_mean_queue_delay(2.0, 1.0, 4)
+        assert mmc_mean_response(2.0, 1.0, 4) == pytest.approx(wait + 1.0)
+
+    def test_mg1_exponential_matches_mm1(self):
+        mm1 = mmc_mean_queue_delay(0.5, 1.0, 1)
+        mg1 = mg1_mean_wait(0.5, 1.0, scv=1.0)
+        assert mg1 == pytest.approx(mm1)
+
+    def test_mg1_deterministic_halves_wait(self):
+        assert mg1_mean_wait(0.5, 1.0, scv=0.0) == pytest.approx(
+            0.5 * mg1_mean_wait(0.5, 1.0, scv=1.0)
+        )
+
+    def test_allen_cunneen_exponential_exact(self):
+        assert mgc_mean_wait_allen_cunneen(2.0, 1.0, 1.0, 4) == pytest.approx(
+            mmc_mean_queue_delay(2.0, 1.0, 4)
+        )
+
+    def test_unstable_rejected(self):
+        with pytest.raises(AnalysisError):
+            mmc_mean_queue_delay(5.0, 1.0, 4)
+        with pytest.raises(AnalysisError):
+            mg1_mean_wait(2.0, 1.0, 1.0)
+
+
+def _summary(policy, rate, p99):
+    return LoadPointSummary(
+        policy=policy, rate=rate, n_cores=4, offered_utilization=0.5,
+        observed=100, throughput=rate, utilization=0.5, mean_latency=p99 / 3,
+        p50_latency=p99 / 5, p95_latency=p99 / 1.5, p99_latency=p99,
+        mean_queue_delay=0.0, mean_degree=1.0,
+    )
+
+
+class TestCompare:
+    def test_find_crossover_interpolates(self):
+        rates = [1.0, 2.0, 3.0]
+        a = [1.0, 2.0, 4.0]
+        b = [3.0, 3.0, 3.0]
+        crossing = find_crossover(rates, a, b)
+        assert 2.0 < crossing < 3.0
+
+    def test_no_crossover_returns_none(self):
+        assert find_crossover([1, 2], [1.0, 1.0], [2.0, 2.0]) is None
+
+    def test_comparison_metrics_and_envelope(self):
+        rates = [10.0, 20.0]
+        comparison = PolicyComparison(
+            rates=rates,
+            summaries={
+                "a": [_summary("a", 10, 5.0), _summary("a", 20, 1.0)],
+                "b": [_summary("b", 10, 2.0), _summary("b", 20, 4.0)],
+            },
+        )
+        assert comparison.envelope_p99().tolist() == [2.0, 1.0]
+        regret = comparison.regret_vs_envelope("a", ["a", "b"])
+        assert regret.tolist() == [1.5, 0.0]
+
+    def test_capacity_at_slo(self):
+        comparison = PolicyComparison(
+            rates=[1.0, 2.0, 3.0],
+            summaries={
+                "a": [_summary("a", 1, 1.0), _summary("a", 2, 2.0),
+                      _summary("a", 3, 9.0)],
+            },
+        )
+        assert comparison.capacity_at_slo("a", slo=2.5) == 2.0
+        assert comparison.capacity_at_slo("a", slo=0.5) is None
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(AnalysisError):
+            PolicyComparison(rates=[1.0], summaries={"a": []})
+
+    def test_unknown_policy_rejected(self):
+        comparison = PolicyComparison(rates=[1.0],
+                                      summaries={"a": [_summary("a", 1, 1.0)]})
+        with pytest.raises(AnalysisError):
+            comparison.p99("zzz")

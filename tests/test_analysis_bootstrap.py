@@ -1,0 +1,72 @@
+"""Tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bootstrap import (
+    ConfidenceInterval,
+    bootstrap_ci,
+    difference_significant,
+    mean_ci,
+    percentile_ci,
+)
+from repro.errors import AnalysisError
+
+
+class TestBootstrapCI:
+    def test_mean_ci_covers_truth(self, rng):
+        samples = rng.normal(10.0, 2.0, size=400)
+        ci = mean_ci(samples, rng=rng)
+        assert ci.low <= 10.0 <= ci.high or abs(ci.estimate - 10.0) < 0.5
+        assert ci.low <= ci.estimate <= ci.high
+
+    def test_interval_narrows_with_sample_size(self, rng):
+        small = mean_ci(rng.normal(0, 1, 50), rng=np.random.default_rng(1))
+        large = mean_ci(rng.normal(0, 1, 5_000), rng=np.random.default_rng(1))
+        assert large.width < small.width
+
+    def test_percentile_ci(self, rng):
+        samples = rng.lognormal(0, 1, 2_000)
+        ci = percentile_ci(samples, 99, rng=rng)
+        exact = np.percentile(samples, 99)
+        assert ci.estimate == pytest.approx(exact)
+        assert ci.low < exact < ci.high or ci.low <= exact <= ci.high
+
+    def test_confidence_affects_width(self, rng):
+        samples = rng.normal(0, 1, 300)
+        narrow = mean_ci(samples, confidence=0.8, rng=np.random.default_rng(2))
+        wide = mean_ci(samples, confidence=0.99, rng=np.random.default_rng(2))
+        assert wide.width > narrow.width
+
+    def test_contains_and_str(self):
+        ci = ConfidenceInterval(1.0, 0.5, 1.5, 0.95)
+        assert ci.contains(1.2) and not ci.contains(2.0)
+        assert "95%" in str(ci)
+
+    def test_too_small_sample_rejected(self):
+        with pytest.raises(AnalysisError):
+            mean_ci([1.0])
+
+    def test_custom_statistic(self, rng):
+        samples = rng.normal(0, 1, 500)
+        ci = bootstrap_ci(samples, lambda a: float(np.median(a)), rng=rng)
+        assert ci.low <= ci.estimate <= ci.high
+
+
+class TestDifferenceSignificant:
+    def test_detects_clear_difference(self, rng):
+        a = rng.normal(10.0, 1.0, 300)
+        b = rng.normal(5.0, 1.0, 300)
+        assert difference_significant(a, b, lambda arr: float(arr.mean()), rng=rng)
+
+    def test_accepts_null_for_identical_distributions(self):
+        rng = np.random.default_rng(7)
+        a = rng.normal(0.0, 1.0, 300)
+        b = rng.normal(0.0, 1.0, 300)
+        assert not difference_significant(
+            a, b, lambda arr: float(arr.mean()), rng=rng
+        )
+
+    def test_small_samples_rejected(self):
+        with pytest.raises(AnalysisError):
+            difference_significant([1.0], [2.0, 3.0], lambda a: float(a.mean()))

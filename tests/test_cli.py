@@ -1,0 +1,41 @@
+"""Tests for the command-line entry point."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "e01" in out and "e11" in out and "e13" in out
+
+    def test_no_args_is_usage_error(self, capsys):
+        assert main([]) == 2
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["e99"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_runs_fast_experiment_small_scale(self, capsys, tmp_path):
+        code = main(["e02", "--scale", "small", "--json-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "E02" in out
+        assert (tmp_path / "e02.json").exists()
+
+    def test_case_insensitive_ids(self, capsys):
+        assert main(["E03", "--scale", "small"]) == 0
+
+    def test_failed_check_sets_exit_code(self, monkeypatch, capsys):
+        from repro.harness import registry
+        from repro.harness.result import ExperimentResult
+
+        def fake_run(ctx):
+            result = ExperimentResult("e02", "t", "d")
+            result.add_check("always fails", False)
+            return result
+
+        monkeypatch.setitem(registry.EXPERIMENTS, "e02", fake_run)
+        assert main(["e02", "--scale", "small"]) == 1

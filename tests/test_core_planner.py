@@ -1,0 +1,71 @@
+"""Tests for the deployment planner."""
+
+import pytest
+
+from repro.core.planner import DEFAULT_CANDIDATES, plan_deployment
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def plan(small_system):
+    slo = 3.0 * small_system.service_distribution.percentile(99)
+    return plan_deployment(
+        small_system,
+        slo=slo,
+        load_profile=[0.1, 0.3, 0.5, 0.3, 0.1],
+        candidates=("sequential", "fixed-4", "adaptive"),
+        duration=2.0,
+        warmup=0.5,
+    )
+
+
+class TestPlanner:
+    def test_all_candidates_assessed(self, plan):
+        assert set(plan.assessments) == {"sequential", "fixed-4", "adaptive"}
+
+    def test_hourly_p99_aligned_with_profile(self, plan):
+        for assessment in plan.assessments.values():
+            assert len(assessment.hourly_p99) == 5
+            # Symmetric profile => symmetric distinct-load mapping.
+            assert assessment.hourly_p99[0] == assessment.hourly_p99[4]
+            assert assessment.hourly_p99[1] == assessment.hourly_p99[3]
+
+    def test_recommendation_is_a_candidate(self, plan):
+        assert plan.recommended in plan.assessments
+
+    def test_adaptive_recommended_over_saturating_fixed(self, plan):
+        """fixed-4 saturates inside this profile at small scale, so the
+        planner must prefer adaptive (or sequential) over it."""
+        assert plan.recommended != "fixed-4"
+
+    def test_recommended_meets_slo_when_possible(self, plan):
+        best = plan.assessments[plan.recommended]
+        if any(a.fully_compliant for a in plan.assessments.values()):
+            assert best.fully_compliant
+
+    def test_headroom_positive(self, plan):
+        for assessment in plan.assessments.values():
+            assert assessment.headroom >= 0.0
+
+    def test_table_rendering_marks_recommendation(self, plan):
+        rendered = plan.to_table().render()
+        assert plan.recommended + " *" in rendered
+
+    def test_input_validation(self, small_system):
+        with pytest.raises(ConfigurationError):
+            plan_deployment(small_system, slo=-1.0, load_profile=[0.1])
+        with pytest.raises(ConfigurationError):
+            plan_deployment(small_system, slo=0.1, load_profile=[])
+        with pytest.raises(ConfigurationError):
+            plan_deployment(small_system, slo=0.1, load_profile=[0.1],
+                            candidates=[])
+
+    def test_impossible_slo_still_recommends_something(self, small_system):
+        tiny = small_system.service_distribution.percentile(1) / 50
+        plan = plan_deployment(
+            small_system, slo=tiny, load_profile=[0.2],
+            candidates=("sequential", "adaptive"),
+            duration=1.5, warmup=0.3,
+        )
+        assert plan.recommended in plan.assessments
+        assert not plan.assessments[plan.recommended].fully_compliant

@@ -1,0 +1,101 @@
+"""Tests for multi-seed replication and the Little's-law checker."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.queueing_theory import littles_law_gap
+from repro.core.replication import (
+    compare_policies_replicated,
+    replicate_load_point,
+)
+from repro.errors import AnalysisError, ConfigurationError
+
+
+class TestReplication:
+    def test_values_one_per_seed(self, small_system):
+        replicated = replicate_load_point(
+            small_system, "sequential", 0.2, seeds=[1, 2, 3],
+            duration=2.0, warmup=0.5,
+        )
+        assert len(replicated.values) == 3
+        assert replicated.ci.low <= replicated.mean <= replicated.ci.high
+
+    def test_same_seed_gives_same_value(self, small_system):
+        replicated = replicate_load_point(
+            small_system, "sequential", 0.2, seeds=[5, 5],
+            duration=2.0, warmup=0.5,
+        )
+        assert replicated.values[0] == replicated.values[1]
+
+    def test_requires_two_seeds(self, small_system):
+        with pytest.raises(ConfigurationError):
+            replicate_load_point(small_system, "sequential", 0.2, seeds=[1])
+
+    def test_unknown_metric_rejected(self, small_system):
+        with pytest.raises(AnalysisError):
+            replicate_load_point(
+                small_system, "sequential", 0.2, seeds=[1, 2],
+                metric="nonexistent", duration=2.0, warmup=0.5,
+            )
+
+    def test_mean_metric_supported(self, small_system):
+        replicated = replicate_load_point(
+            small_system, "adaptive", 0.2, seeds=[1, 2],
+            metric="mean_latency", duration=2.0, warmup=0.5,
+        )
+        assert replicated.metric == "mean_latency"
+        assert all(v > 0 for v in replicated.values)
+
+
+class TestPairedComparison:
+    def test_adaptive_significantly_beats_sequential_at_low_load(
+        self, small_system
+    ):
+        comparison = compare_policies_replicated(
+            small_system, "adaptive", "sequential", 0.1,
+            seeds=[1, 2, 3, 4], duration=2.5, warmup=0.5,
+        )
+        assert comparison.mean_difference < 0
+        assert comparison.a_better, (
+            f"expected significance; CI {comparison.ci}"
+        )
+
+    def test_policy_vs_itself_not_significant(self, small_system):
+        comparison = compare_policies_replicated(
+            small_system, "sequential", "sequential", 0.2,
+            seeds=[1, 2, 3], duration=2.0, warmup=0.5,
+        )
+        assert comparison.differences == (0.0, 0.0, 0.0) or not comparison.significant
+
+
+class TestLittlesLaw:
+    def test_zero_gap_when_consistent(self):
+        # λ = 100/s, W = 0.05s  =>  L = 5.
+        assert littles_law_gap(1_000, 10.0, 0.05, 5.0) == pytest.approx(0.0)
+
+    def test_gap_detects_inconsistency(self):
+        assert littles_law_gap(1_000, 10.0, 0.05, 10.0) == pytest.approx(0.5)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(AnalysisError):
+            littles_law_gap(10, 0.0, 0.05, 1.0)
+
+    def test_simulator_satisfies_littles_law(self, small_system):
+        """End-to-end: λW from the sim's summary matches the utilization-
+        derived population within tolerance."""
+        rate = small_system.rate_for_utilization(0.3)
+        summary = small_system.run_point("sequential", rate,
+                                         duration=4.0, warmup=1.0)
+        # For degree-1 queries, mean running population = utilization x cores;
+        # queued population ~ throughput x mean queue delay.
+        mean_population = (
+            summary.utilization * small_system.n_cores
+            + summary.throughput * summary.mean_queue_delay
+        )
+        gap = littles_law_gap(
+            summary.observed,
+            3.0,  # window = duration - warmup
+            summary.mean_latency,
+            mean_population,
+        )
+        assert gap < 0.1, f"Little's-law gap {gap:.3f}"

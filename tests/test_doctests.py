@@ -1,0 +1,26 @@
+"""Run the doctests embedded in selected public modules.
+
+Docstring examples are part of the documentation contract; this module
+executes the ones that are self-contained (no heavyweight fixtures).
+"""
+
+import doctest
+
+import pytest
+
+import repro.corpus.ingest
+import repro.policies.adaptive
+import repro.util.rng
+
+MODULES = [
+    repro.util.rng,
+    repro.policies.adaptive,
+    repro.corpus.ingest,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} has no doctests"
+    assert results.failed == 0, f"{results.failed} doctest failure(s)"

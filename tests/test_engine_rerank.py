@@ -1,0 +1,65 @@
+"""Tests for the optional second-phase (L2) rerank cost."""
+
+import pytest
+
+from repro.engine.cost import CostModel
+from repro.engine.executor import Engine, EngineConfig
+
+
+@pytest.fixture(scope="module")
+def rerank_engines(small_workbench):
+    base = Engine(small_workbench.index, EngineConfig())
+    reranking = Engine(
+        small_workbench.index,
+        EngineConfig(
+            cost_model=CostModel(rerank_doc_cost=5e-6, rerank_depth=200)
+        ),
+    )
+    return base, reranking
+
+
+class TestRerankCost:
+    def test_disabled_by_default(self):
+        assert CostModel().rerank_time(1_000) == 0.0
+
+    def test_bounded_by_depth_and_matches(self):
+        model = CostModel(rerank_doc_cost=1e-6, rerank_depth=100)
+        assert model.rerank_time(50) == pytest.approx(50e-6)
+        assert model.rerank_time(500) == pytest.approx(100e-6)
+        assert model.rerank_time(0) == 0.0
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(Exception):
+            CostModel(rerank_doc_cost=-1.0)
+        with pytest.raises(Exception):
+            CostModel(rerank_depth=-1)
+        with pytest.raises(Exception):
+            CostModel(rerank_depth=1.5)
+
+    def test_rerank_increases_latency(self, rerank_engines, sample_queries):
+        base, reranking = rerank_engines
+        query = max(sample_queries,
+                    key=lambda q: base.execute(q, 1).docs_matched)
+        assert reranking.execute(query, 1).latency > base.execute(query, 1).latency
+
+    def test_rerank_flattens_speedup(self, rerank_engines, sample_queries):
+        """The L2 phase is serial, so it deepens the Amdahl fraction."""
+        base, reranking = rerank_engines
+        query = max(sample_queries,
+                    key=lambda q: base.execute(q, 1).chunks_evaluated)
+
+        def speedup(engine):
+            trace = engine.trace(query)
+            t1 = engine.execute_trace(trace, 1).latency
+            t8 = engine.execute_trace(trace, 8).latency
+            return t1 / t8
+
+        assert speedup(reranking) < speedup(base)
+
+    def test_results_unchanged_by_rerank_cost(self, rerank_engines, sample_queries):
+        base, reranking = rerank_engines
+        for query in sample_queries[:10]:
+            assert (
+                base.execute(query, 2).doc_ids
+                == reranking.execute(query, 2).doc_ids
+            )

@@ -1,0 +1,79 @@
+"""Tests for ExecutionResult accounting and the ChunkTrace cache."""
+
+import pytest
+
+from repro.engine.query import Query
+from repro.engine.results import ExecutionResult, RankedDocument, make_ranked
+from repro.engine.trace import ChunkTrace
+
+
+class TestRankedResults:
+    def test_make_ranked_assigns_ranks(self):
+        ranked = make_ranked([(5, 2.0), (3, 1.0)])
+        assert [r.rank for r in ranked] == [1, 2]
+        assert ranked[0] == RankedDocument(doc_id=5, score=2.0, rank=1)
+
+    def _result(self, latency, cpu, degree=2):
+        return ExecutionResult(
+            query=Query.of([1]),
+            degree=degree,
+            results=make_ranked([(1, 1.0)]),
+            latency=latency,
+            cpu_time=cpu,
+            chunks_evaluated=3,
+            postings_scanned=10,
+            docs_matched=2,
+            terminated_early=False,
+            termination_rule="exhausted",
+        )
+
+    def test_efficiency_vs(self):
+        result = self._result(latency=1.0, cpu=1.8)
+        assert result.efficiency_vs == pytest.approx(1.8)
+
+    def test_speedup_over(self):
+        sequential = self._result(latency=2.0, cpu=2.0, degree=1)
+        parallel = self._result(latency=0.5, cpu=1.5, degree=4)
+        assert parallel.speedup_over(sequential) == pytest.approx(4.0)
+
+    def test_accessors(self):
+        result = self._result(1.0, 1.0)
+        assert result.doc_ids == [1]
+        assert result.scores == [1.0]
+        assert result.n_results == 1
+
+
+class TestChunkTrace:
+    def test_caches_chunk_evaluations(self, small_engine, sample_queries):
+        query = next(q for q in sample_queries
+                     if small_engine.plan(q).n_candidate_chunks >= 3)
+        trace = small_engine.trace(query)
+        assert trace.n_evaluated == 0
+        first_outcome, first_cost = trace.get(0)
+        assert trace.n_evaluated == 1
+        again_outcome, again_cost = trace.get(0)
+        assert again_outcome is first_outcome
+        assert again_cost == first_cost
+
+    def test_shared_trace_across_degrees_limits_work(
+        self, small_engine, sample_queries
+    ):
+        query = sample_queries[0]
+        trace = small_engine.trace(query)
+        small_engine.execute_trace(trace, 1)
+        evaluated_after_sequential = trace.n_evaluated
+        small_engine.execute_trace(trace, 4)
+        # Degree 4 may claim a few extra (waste) chunks but re-uses all
+        # sequentially evaluated ones.
+        assert trace.n_evaluated >= evaluated_after_sequential
+        assert trace.n_evaluated <= trace.n_positions
+
+    def test_cost_matches_cost_model(self, small_engine, sample_queries):
+        query = sample_queries[1]
+        trace = small_engine.trace(query)
+        if trace.n_positions == 0:
+            pytest.skip("query matched nothing")
+        outcome, cost = trace.get(0)
+        assert cost == pytest.approx(
+            small_engine.config.cost_model.chunk_time(outcome)
+        )

@@ -1,0 +1,104 @@
+"""Tests for the experiment harness: registry, results, fast experiments.
+
+The sim-heavy experiments (E5, E6, E8) are exercised by the benchmark
+suite; here we run the cheap ones end-to-end at small scale and unit-test
+the harness plumbing.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.context import ExperimentContext, Scale
+from repro.harness.registry import EXPERIMENTS, TITLES, get_experiment, run_experiment
+from repro.harness.result import CheckOutcome, ExperimentResult
+from repro.util.serde import dumps
+from repro.util.tables import Table
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(scale=Scale.SMALL)
+
+
+class TestRegistry:
+    def test_all_eleven_registered(self):
+        assert sorted(EXPERIMENTS) == [f"e{i:02d}" for i in range(1, 19)]
+
+    def test_titles_present(self):
+        assert all(TITLES[eid] for eid in EXPERIMENTS)
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("E01") is EXPERIMENTS["e01"]
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_experiment("e99")
+
+
+class TestResult:
+    def test_render_includes_tables_and_checks(self):
+        result = ExperimentResult("e00", "Title", "Desc")
+        table = Table(["a"], title="T")
+        table.add_row([1])
+        result.add_table(table)
+        result.add_check("always", True, "fine")
+        text = result.render()
+        assert "E00" in text and "T" in text and "[PASS] always" in text
+
+    def test_all_checks_passed(self):
+        result = ExperimentResult("e00", "t", "d")
+        result.add_check("a", True)
+        assert result.all_checks_passed
+        result.add_check("b", False)
+        assert not result.all_checks_passed
+
+    def test_to_json_serializable(self):
+        result = ExperimentResult("e00", "t", "d")
+        result.add_check("a", True, "ok")
+        result.data = {"x": [1, 2]}
+        assert dumps(result.to_json())
+
+    def test_check_outcome_render(self):
+        assert CheckOutcome("n", False, "why").render() == "[FAIL] n — why"
+
+
+@pytest.mark.parametrize("experiment_id", ["e01", "e02", "e03", "e04"])
+class TestFastExperiments:
+    def test_runs_and_passes(self, ctx, experiment_id):
+        result = run_experiment(experiment_id, ctx)
+        assert result.experiment_id == experiment_id
+        assert result.tables, "experiment produced no tables"
+        failed = [c for c in result.checks if not c.passed]
+        assert not failed, f"failed checks: {[c.name for c in failed]}"
+
+    def test_json_roundtrip(self, ctx, experiment_id):
+        result = run_experiment(experiment_id, ctx)
+        payload = result.to_json()
+        assert payload["experiment_id"] == experiment_id
+        assert dumps(payload)
+
+
+class TestSimExperiments:
+    """One representative sim-backed experiment end-to-end (small scale)."""
+
+    def test_e07_degree_mix(self, ctx):
+        result = run_experiment("e07", ctx)
+        assert result.all_checks_passed, result.render()
+
+    def test_e11_validation(self, ctx):
+        result = run_experiment("e11", ctx)
+        assert result.all_checks_passed, result.render()
+
+
+class TestContext:
+    def test_scale_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert Scale.from_env() is Scale.SMALL
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        with pytest.raises(ConfigurationError):
+            Scale.from_env()
+        monkeypatch.delenv("REPRO_SCALE")
+        assert Scale.from_env() is Scale.REFERENCE
+
+    def test_system_cached_per_scale(self, ctx):
+        assert ctx.system is ExperimentContext(scale=Scale.SMALL).system

@@ -1,0 +1,73 @@
+"""Tests for the CSV figure-data exporter."""
+
+import csv
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.figures import export_csv
+from repro.harness.result import ExperimentResult
+from repro.util.serde import dump_json
+
+
+def _write_payload(tmp_path, experiment_id, data):
+    result = ExperimentResult(experiment_id, "t", "d")
+    result.data = data
+    dump_json(result.to_json(), tmp_path / f"{experiment_id}.json")
+
+
+class TestExportCsv:
+    def test_series_export(self, tmp_path):
+        _write_payload(
+            tmp_path / "in", "e06",
+            {
+                "utilizations": [0.1, 0.5, 0.9],
+                "p99_ms": {"adaptive": [1.0, 2.0, 3.0],
+                           "sequential": [4.0, 5.0, 6.0]},
+                "envelope_ms": [0.9, 1.9, 2.9],
+            },
+        )
+        written = export_csv(tmp_path / "in", tmp_path / "out")
+        series = [p for p in written if p.name == "e06_series.csv"]
+        assert series
+        with series[0].open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["utilizations", "envelope_ms", "p99_ms/adaptive",
+                           "p99_ms/sequential"]
+        assert rows[1] == ["0.1", "0.9", "1.0", "4.0"]
+
+    def test_scalar_export(self, tmp_path):
+        _write_payload(
+            tmp_path / "in", "e08",
+            {"slo_ms": 39.5, "capacity_qps": {"adaptive": 6946.0}},
+        )
+        written = export_csv(tmp_path / "in", tmp_path / "out")
+        scalars = [p for p in written if p.name == "e08_scalars.csv"]
+        assert scalars
+        content = scalars[0].read_text()
+        assert "slo_ms,39.5" in content
+        assert "capacity_qps/adaptive,6946.0" in content
+
+    def test_mismatched_lengths_skipped(self, tmp_path):
+        _write_payload(
+            tmp_path / "in", "e05",
+            {"utilizations": [0.1, 0.2], "short": [1.0], "ok": [1.0, 2.0]},
+        )
+        written = export_csv(tmp_path / "in", tmp_path / "out")
+        with [p for p in written if "series" in p.name][0].open() as handle:
+            header = next(csv.reader(handle))
+        assert "short" not in header and "ok" in header
+
+    def test_nothing_exportable_rejected(self, tmp_path):
+        _write_payload(tmp_path / "in", "e01", {})
+        with pytest.raises(ConfigurationError):
+            export_csv(tmp_path / "in", tmp_path / "out")
+
+    def test_real_reference_results_export(self, tmp_path):
+        """Smoke: the actual shipped reference results export cleanly."""
+        import pathlib
+        reference = pathlib.Path("results/reference")
+        if not reference.is_dir():
+            pytest.skip("reference results not present")
+        written = export_csv(reference, tmp_path / "out")
+        assert any("e06_series" in p.name for p in written)

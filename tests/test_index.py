@@ -1,0 +1,183 @@
+"""Tests for the inverted index: chunks, postings, lexicon, builder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.builder import IndexConfig, build_index
+from repro.index.chunks import ChunkMap
+from repro.index.lexicon import Lexicon
+from repro.index.postings import PostingList
+from repro.ranking.bm25 import BM25Params, bm25_score_document
+
+
+class TestChunkMap:
+    def test_partition_covers_all_docs(self):
+        cm = ChunkMap(n_docs=1000, chunk_size=64)
+        assert cm.bounds[0] == 0 and cm.bounds[-1] == 1000
+        assert cm.chunk_lengths().sum() == 1000
+
+    def test_last_chunk_may_be_short(self):
+        cm = ChunkMap(n_docs=100, chunk_size=30)
+        assert cm.n_chunks == 4
+        assert cm.chunk_range(3) == (90, 100)
+
+    def test_chunk_of_doc(self):
+        cm = ChunkMap(n_docs=100, chunk_size=30)
+        assert cm.chunk_of_doc(0) == 0
+        assert cm.chunk_of_doc(29) == 0
+        assert cm.chunk_of_doc(30) == 1
+        assert cm.chunk_of_doc(99) == 3
+
+    def test_iteration(self):
+        cm = ChunkMap(n_docs=10, chunk_size=4)
+        assert list(cm) == [(0, 4), (4, 8), (8, 10)]
+
+    def test_exact_division(self):
+        cm = ChunkMap(n_docs=12, chunk_size=4)
+        assert cm.n_chunks == 3
+
+    def test_out_of_range_rejected(self):
+        cm = ChunkMap(n_docs=10, chunk_size=4)
+        with pytest.raises(Exception):
+            cm.chunk_range(3)
+        with pytest.raises(Exception):
+            cm.chunk_of_doc(10)
+
+
+def _make_plist(doc_ids, impacts, chunk_map, term_id=0):
+    doc_ids = np.asarray(doc_ids, dtype=np.int64)
+    return PostingList(
+        term_id=term_id,
+        doc_ids=doc_ids,
+        freqs=np.ones_like(doc_ids),
+        impacts=np.asarray(impacts, dtype=np.float64),
+        chunk_map=chunk_map,
+    )
+
+
+class TestPostingList:
+    def test_chunk_slices_partition_postings(self):
+        cm = ChunkMap(n_docs=100, chunk_size=10)
+        plist = _make_plist([1, 5, 11, 55, 99], [1.0, 2.0, 3.0, 4.0, 5.0], cm)
+        total = 0
+        for chunk_id in range(cm.n_chunks):
+            ids, impacts = plist.chunk_slice(chunk_id)
+            total += ids.shape[0]
+            start, end = cm.chunk_range(chunk_id)
+            assert np.all((ids >= start) & (ids < end))
+        assert total == 5
+
+    def test_chunk_upper_bound(self):
+        cm = ChunkMap(n_docs=30, chunk_size=10)
+        plist = _make_plist([0, 5, 15, 25], [1.0, 3.0, 2.0, 9.0], cm)
+        assert plist.chunk_upper_bound(0) == 3.0
+        assert plist.chunk_upper_bound(1) == 2.0
+        assert plist.chunk_upper_bound(2) == 9.0
+
+    def test_upper_bound_absent_chunk_is_zero(self):
+        cm = ChunkMap(n_docs=30, chunk_size=10)
+        plist = _make_plist([0], [1.0], cm)
+        assert plist.chunk_upper_bound(2) == 0.0
+
+    def test_suffix_upper_bounds(self):
+        cm = ChunkMap(n_docs=30, chunk_size=10)
+        plist = _make_plist([0, 15, 25], [5.0, 2.0, 3.0], cm)
+        bounds = plist.suffix_upper_bounds(cm.n_chunks)
+        assert bounds.tolist() == [5.0, 3.0, 3.0, 0.0]
+
+    def test_contains_and_impact_of(self):
+        cm = ChunkMap(n_docs=20, chunk_size=10)
+        plist = _make_plist([3, 12], [1.5, 2.5], cm)
+        assert plist.contains(12) and not plist.contains(4)
+        assert plist.impact_of(3) == 1.5
+        assert plist.impact_of(4) == 0.0
+
+    def test_non_ascending_doc_ids_rejected(self):
+        cm = ChunkMap(n_docs=20, chunk_size=10)
+        with pytest.raises(IndexError_):
+            _make_plist([5, 5], [1.0, 1.0], cm)
+
+    def test_empty_posting_list(self):
+        cm = ChunkMap(n_docs=20, chunk_size=10)
+        plist = _make_plist([], [], cm)
+        assert plist.doc_frequency == 0
+        assert plist.max_impact == 0.0
+        assert plist.suffix_upper_bounds(cm.n_chunks).tolist() == [0.0, 0.0, 0.0]
+
+
+class TestLexicon:
+    def test_add_and_lookup(self):
+        cm = ChunkMap(n_docs=10, chunk_size=5)
+        lex = Lexicon(vocab_size=4)
+        lex.add(_make_plist([1, 2], [1.0, 2.0], cm, term_id=2))
+        assert 2 in lex and 1 not in lex
+        assert lex.doc_frequency(2) == 2
+        assert lex.doc_frequency(1) == 0
+        assert lex.max_impact(2) == 2.0
+
+    def test_duplicate_rejected(self):
+        cm = ChunkMap(n_docs=10, chunk_size=5)
+        lex = Lexicon(vocab_size=4)
+        lex.add(_make_plist([1], [1.0], cm, term_id=0))
+        with pytest.raises(IndexError_):
+            lex.add(_make_plist([2], [1.0], cm, term_id=0))
+
+    def test_missing_term_raises(self):
+        with pytest.raises(IndexError_):
+            Lexicon(vocab_size=4).postings(0)
+
+    def test_posting_lists_skips_absent(self):
+        cm = ChunkMap(n_docs=10, chunk_size=5)
+        lex = Lexicon(vocab_size=4)
+        lex.add(_make_plist([1], [1.0], cm, term_id=3))
+        assert len(lex.posting_lists([0, 3])) == 1
+
+
+class TestBuilder:
+    def test_index_covers_corpus(self, tiny_corpus, tiny_index):
+        assert tiny_index.n_docs == tiny_corpus.n_docs
+        assert tiny_index.n_postings == tiny_corpus.n_postings
+
+    def test_df_matches_corpus(self, tiny_corpus, tiny_index):
+        corpus_df = tiny_corpus.document_frequencies()
+        index_df = tiny_index.lexicon.document_frequencies()
+        assert np.array_equal(corpus_df, index_df)
+
+    def test_posting_lists_sorted(self, tiny_index):
+        for term_id in list(tiny_index.lexicon)[:50]:
+            plist = tiny_index.lexicon.postings(term_id)
+            assert np.all(np.diff(plist.doc_ids) > 0)
+
+    def test_impacts_match_reference_bm25(self, tiny_corpus, tiny_index):
+        """Precomputed impacts equal the reference scorer's idf*tf."""
+        params = tiny_index.bm25_params
+        df = tiny_corpus.document_frequencies()
+        for doc_id in (0, 100, 500):
+            doc = tiny_corpus.document(doc_id)
+            terms = doc.term_ids[:5]
+            expected = bm25_score_document(
+                term_freqs=[doc.term_frequency(int(t)) for t in terms],
+                doc_freqs=[df[int(t)] for t in terms],
+                doc_length=doc.length,
+                n_docs=tiny_corpus.n_docs,
+                avg_doc_length=tiny_corpus.average_doc_length,
+                params=params,
+            )
+            total = sum(
+                tiny_index.lexicon.postings(int(t)).impact_of(doc_id) for t in terms
+            )
+            assert total == pytest.approx(expected, rel=1e-9)
+
+    def test_memory_footprint_positive(self, tiny_index):
+        assert tiny_index.memory_footprint_bytes() > 0
+
+    def test_chunk_size_config(self, tiny_corpus):
+        index = build_index(tiny_corpus, IndexConfig(chunk_size=200))
+        assert index.chunk_map.chunk_size == 200
+
+    def test_custom_bm25_params_propagate(self, tiny_corpus):
+        index = build_index(
+            tiny_corpus, IndexConfig(chunk_size=100, bm25=BM25Params(k1=2.0, b=0.5))
+        )
+        assert index.bm25_params.k1 == 2.0

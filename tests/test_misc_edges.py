@@ -1,0 +1,111 @@
+"""Assorted edge-case tests across modules."""
+
+import numpy as np
+import pytest
+
+from repro.engine.query import Query
+from repro.errors import ExecutionError, SimulationError
+from repro.profiles.measurement import QueryCostTable
+from repro.sim.experiment import LoadPointConfig, LoadPointSummary
+from repro.sim.oracle import ServiceOracle
+from repro.workloads.workbench import WorkbenchConfig
+
+
+class TestServiceOracleEdges:
+    def test_table_without_degree_one_rejected(self):
+        from repro.errors import ProfileError
+
+        table = QueryCostTable(
+            [Query.of([0])],
+            (2,),
+            np.ones((1, 1)),
+            np.ones((1, 1)),
+            np.ones((1, 1), dtype=np.int64),
+        )
+        # The oracle needs sequential baselines; construction must fail.
+        with pytest.raises(ProfileError):
+            ServiceOracle(table)
+
+    def test_clamp_rejects_nonpositive(self):
+        table = QueryCostTable(
+            [Query.of([0])],
+            (1,),
+            np.ones((1, 1)),
+            np.ones((1, 1)),
+            np.ones((1, 1), dtype=np.int64),
+        )
+        with pytest.raises(SimulationError):
+            ServiceOracle(table).clamp_degree(0)
+
+    def test_info_without_predictions(self):
+        table = QueryCostTable(
+            [Query.of([0], query_id=7)],
+            (1,),
+            np.full((1, 1), 0.5),
+            np.full((1, 1), 0.5),
+            np.ones((1, 1), dtype=np.int64),
+        )
+        info = ServiceOracle(table).info(0)
+        assert info.predicted_sequential_latency is None
+        assert info.true_sequential_latency == 0.5
+        assert info.query_id == 7
+
+
+class TestLoadPointConfigEdges:
+    def test_warmup_must_precede_duration(self):
+        with pytest.raises(Exception):
+            LoadPointConfig(rate=1.0, duration=5.0, warmup=5.0)
+
+    def test_saturated_heuristic(self):
+        base = dict(
+            policy="p", rate=100.0, n_cores=4, offered_utilization=0.5,
+            observed=10, utilization=0.5, mean_latency=0.1,
+            p50_latency=0.1, p95_latency=0.1, p99_latency=0.1,
+            mean_queue_delay=0.0, mean_degree=1.0,
+        )
+        assert LoadPointSummary(throughput=80.0, **base).saturated
+        assert not LoadPointSummary(throughput=99.0, **base).saturated
+
+
+class TestEngineEdges:
+    def test_threaded_respects_max_degree(self, small_engine, sample_queries):
+        with pytest.raises(ExecutionError):
+            small_engine.execute_threaded(
+                sample_queries[0], small_engine.config.max_degree + 1
+            )
+
+    def test_empty_plan_trace_has_no_positions(self, small_engine, small_workbench):
+        missing = small_workbench.corpus.vocab_size + 9
+        trace = small_engine.trace(Query.of([missing]))
+        assert trace.n_positions == 0
+        result = small_engine.execute_trace(trace, 4)
+        assert result.n_results == 0
+        assert result.chunks_evaluated == 0
+
+    def test_parallel_empty_plan_has_overhead_only(self, small_engine,
+                                                   small_workbench):
+        missing = small_workbench.corpus.vocab_size + 9
+        trace = small_engine.trace(Query.of([missing]))
+        result = small_engine.execute_trace(trace, 4)
+        cost_model = small_engine.config.cost_model
+        expected = (
+            cost_model.query_fixed_cost
+            + cost_model.fork_time(4)
+            + cost_model.join_time(4)
+        )
+        assert result.latency == pytest.approx(expected)
+
+
+class TestWorkbenchConfigEdges:
+    def test_presets_differ(self):
+        assert WorkbenchConfig.small() != WorkbenchConfig.reference()
+
+    def test_hashable_for_caching(self):
+        assert {WorkbenchConfig.small(), WorkbenchConfig.small()} == {
+            WorkbenchConfig.small()
+        }
+
+    def test_seed_propagates(self):
+        config = WorkbenchConfig.small(seed=42)
+        assert config.seed == 42
+        assert config.corpus.seed == 42

@@ -1,0 +1,166 @@
+"""Tests for parallelism policies and threshold derivation."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policies.adaptive import AdaptivePolicy, ThresholdTable
+from repro.policies.base import QueryInfo, SystemState
+from repro.policies.derivation import derive_threshold_table
+from repro.policies.fixed import FixedPolicy, SequentialPolicy
+from repro.policies.incremental import IncrementalPolicy
+from repro.policies.oracle import OraclePolicy
+from repro.policies.predictive import PredictivePolicy
+from repro.profiles.speedup import ParametricSpeedup
+
+
+def _state(n_in_system: int, n_cores: int = 12) -> SystemState:
+    """State with the given queries-in-system (all running, none queued)."""
+    running = n_in_system - 1
+    return SystemState(
+        now=0.0,
+        n_queued=0,
+        n_running=running,
+        free_cores=max(n_cores - running, 1),
+        n_cores=n_cores,
+    )
+
+
+class TestThresholdTable:
+    def test_degree_lookup(self):
+        table = ThresholdTable.from_pairs([(1, 12), (2, 6), (4, 3), (8, 2)])
+        assert [table.degree_for(n) for n in (1, 2, 3, 4, 5, 8, 9, 100)] == [
+            12, 6, 3, 3, 2, 2, 1, 1]
+
+    def test_max_degree(self):
+        assert ThresholdTable.from_pairs([(1, 8), (4, 2)]).max_degree == 8
+
+    def test_monotonicity_enforced(self):
+        with pytest.raises(PolicyError):
+            ThresholdTable.from_pairs([(1, 4), (2, 8)])  # degree rises
+        with pytest.raises(PolicyError):
+            ThresholdTable.from_pairs([(2, 4), (2, 2)])  # limit repeats
+        with pytest.raises(PolicyError):
+            ThresholdTable.from_pairs([])
+
+    def test_invalid_degree_rejected(self):
+        with pytest.raises(PolicyError):
+            ThresholdTable.from_pairs([(1, 0)])
+
+    def test_degree_for_validates_load(self):
+        table = ThresholdTable.from_pairs([(1, 2)])
+        with pytest.raises(PolicyError):
+            table.degree_for(0)
+
+    def test_describe_mentions_fallback(self):
+        text = ThresholdTable.from_pairs([(2, 4)]).describe()
+        assert "p=1" in text and "p=4" in text
+
+
+class TestFixedPolicies:
+    def test_fixed_ignores_state(self):
+        policy = FixedPolicy(6)
+        assert policy.choose_degree(_state(1), QueryInfo()) == 6
+        assert policy.choose_degree(_state(50), QueryInfo()) == 6
+
+    def test_sequential_is_fixed_one(self):
+        policy = SequentialPolicy()
+        assert policy.degree == 1
+        assert policy.name == "sequential"
+
+    def test_names(self):
+        assert FixedPolicy(4).name == "fixed-4"
+
+
+class TestAdaptivePolicy:
+    def test_degree_decreases_with_load(self):
+        table = ThresholdTable.from_pairs([(1, 12), (2, 6), (4, 3), (8, 2)])
+        policy = AdaptivePolicy(table)
+        degrees = [policy.choose_degree(_state(n), QueryInfo()) for n in range(1, 15)]
+        assert degrees == sorted(degrees, reverse=True)
+        assert degrees[0] == 12 and degrees[-1] == 1
+
+
+class TestDerivation:
+    def test_shape_from_parametric_curve(self):
+        curve = ParametricSpeedup(serial=0.05, waste=0.01)
+        table = derive_threshold_table(curve, n_cores=12,
+                                       degrees=(1, 2, 3, 4, 6, 8, 12))
+        # Lightly loaded system gets the widest useful degree.
+        assert table.degree_for(1) >= 6
+        # Heavily loaded system degrades to sequential.
+        assert table.degree_for(13) == 1
+
+    def test_degrees_respect_fair_share(self):
+        curve = ParametricSpeedup(serial=0.0, waste=0.0)  # ideal speedup
+        table = derive_threshold_table(curve, n_cores=12,
+                                       degrees=(1, 2, 3, 4, 6, 12))
+        # With perfect speedup, degree(n) should be the fair share 12//n
+        # (restricted to candidate degrees).
+        assert table.degree_for(1) == 12
+        assert table.degree_for(2) == 6
+        assert table.degree_for(3) == 4
+        assert table.degree_for(4) == 3
+        assert table.degree_for(6) == 2
+
+    def test_useless_parallelism_gives_sequential_table(self):
+        curve = ParametricSpeedup(serial=1.0, waste=0.5)  # S(p) < 1 for p>1
+        table = derive_threshold_table(curve, n_cores=8, degrees=(1, 2, 4))
+        assert all(table.degree_for(n) == 1 for n in range(1, 10))
+
+    def test_plateaued_curve_prefers_smaller_degree(self):
+        # Speedup flat beyond 4: derivation must not pick 8.
+        class Plateau:
+            def speedup(self, p):
+                return min(p, 4.0) if p <= 4 else 4.0 - 0.01 * (p - 4)
+
+        table = derive_threshold_table(Plateau(), n_cores=8, degrees=(1, 2, 4, 8))
+        assert table.degree_for(1) == 4
+
+    def test_measured_profile_accepted(self, small_system):
+        table = derive_threshold_table(small_system.profile, n_cores=8)
+        assert table.max_degree >= 2
+
+    def test_missing_degrees_for_bare_curve_rejected(self):
+        class Bare:
+            def speedup(self, p):
+                return float(p)
+
+        with pytest.raises(PolicyError):
+            derive_threshold_table(Bare(), n_cores=4)
+
+
+class TestGatedPolicies:
+    TABLE = ThresholdTable.from_pairs([(1, 8), (2, 4), (4, 2)])
+
+    def test_oracle_requires_truth(self):
+        policy = OraclePolicy(self.TABLE, long_query_cutoff=1e-3)
+        with pytest.raises(PolicyError):
+            policy.choose_degree(_state(1), QueryInfo())
+
+    def test_oracle_gates_short_queries(self):
+        policy = OraclePolicy(self.TABLE, long_query_cutoff=1e-3)
+        short = QueryInfo(true_sequential_latency=1e-4)
+        long_ = QueryInfo(true_sequential_latency=1e-2)
+        assert policy.choose_degree(_state(1), short) == 1
+        assert policy.choose_degree(_state(1), long_) == 8
+
+    def test_predictive_requires_prediction(self):
+        policy = PredictivePolicy(self.TABLE, long_query_cutoff=1e-3)
+        with pytest.raises(PolicyError):
+            policy.choose_degree(_state(1), QueryInfo())
+
+    def test_predictive_gates_on_prediction(self):
+        policy = PredictivePolicy(self.TABLE, long_query_cutoff=1e-3)
+        short = QueryInfo(predicted_sequential_latency=1e-4)
+        long_ = QueryInfo(predicted_sequential_latency=5e-3)
+        assert policy.choose_degree(_state(1), short) == 1
+        assert policy.choose_degree(_state(2), long_) == 4
+
+    def test_incremental_exposes_probe_time(self):
+        policy = IncrementalPolicy(self.TABLE, probe_time=2e-3)
+        assert policy.probe_time == 2e-3
+        assert policy.choose_degree(_state(1), QueryInfo()) == 8
+
+    def test_incremental_rejects_bad_probe(self):
+        with pytest.raises(Exception):
+            IncrementalPolicy(self.TABLE, probe_time=0.0)

@@ -1,0 +1,82 @@
+"""Property-based round-trip tests for serialization and tables."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.serde import dumps, to_jsonable
+from repro.util.tables import Table
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=30),
+)
+
+json_like = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=10), children, max_size=5),
+    ),
+    max_leaves=25,
+)
+
+
+@given(obj=json_like)
+@settings(max_examples=150, deadline=None)
+def test_serde_roundtrips_through_json(obj):
+    text = dumps(obj)
+    parsed = json.loads(text)
+    # to_jsonable normalizes tuples/sets to lists; applying it twice must
+    # be a fixed point, and the parsed form must equal the normal form.
+    normal = to_jsonable(obj)
+    assert to_jsonable(normal) == normal
+    assert parsed == normal
+
+
+@given(
+    columns=st.lists(
+        st.text(
+            alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd")),
+            min_size=1,
+            max_size=8,
+        ),
+        min_size=1,
+        max_size=5,
+        unique=True,
+    ),
+    n_rows=st.integers(0, 8),
+    data=st.data(),
+)
+@settings(max_examples=100, deadline=None)
+def test_table_renders_all_cells(columns, n_rows, data):
+    table = Table(columns)
+    rows = []
+    for _ in range(n_rows):
+        row = data.draw(
+            st.lists(
+                st.one_of(st.integers(-1000, 1000),
+                          st.floats(0.001, 1000, allow_nan=False)),
+                min_size=len(columns),
+                max_size=len(columns),
+            )
+        )
+        rows.append(row)
+        table.add_row(row)
+    rendered = table.render()
+    lines = rendered.splitlines()
+    # header + separator + one line per row
+    assert len(lines) == 2 + n_rows
+    # All lines align to the same width as the header.
+    header_width = len(lines[0])
+    assert all(len(line) <= header_width + 2 for line in lines)
+    assert table.n_rows == n_rows
+    # Records view preserves shape.
+    records = table.as_records()
+    assert len(records) == n_rows
+    for record in records:
+        assert set(record) == set(columns)

@@ -1,0 +1,68 @@
+"""Property-based tests for the TopK heap (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.topk import TopK
+
+offers = st.lists(
+    st.tuples(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        st.integers(min_value=0, max_value=10_000),
+    ),
+    max_size=200,
+)
+
+
+def _reference_topk(pairs, k):
+    """Oracle: full sort under (score desc, doc_id asc), dedup not needed."""
+    ranked = sorted(pairs, key=lambda p: (-p[0], p[1]))
+    return [(doc, score) for score, doc in ranked[:k]]
+
+
+@given(pairs=offers, k=st.integers(min_value=1, max_value=20))
+@settings(max_examples=200, deadline=None)
+def test_topk_matches_full_sort(pairs, k):
+    topk = TopK(k)
+    for score, doc in pairs:
+        topk.offer(score, doc)
+    assert topk.results() == _reference_topk(pairs, k)
+
+
+@given(pairs=offers, k=st.integers(min_value=1, max_value=20))
+@settings(max_examples=100, deadline=None)
+def test_topk_insensitive_to_offer_order(pairs, k):
+    forward = TopK(k)
+    backward = TopK(k)
+    for score, doc in pairs:
+        forward.offer(score, doc)
+    for score, doc in reversed(pairs):
+        backward.offer(score, doc)
+    assert forward.results() == backward.results()
+
+
+@given(pairs=offers, k=st.integers(min_value=1, max_value=20))
+@settings(max_examples=100, deadline=None)
+def test_offer_many_equals_offer_loop(pairs, k):
+    looped = TopK(k)
+    for score, doc in pairs:
+        looped.offer(score, doc)
+    batched = TopK(k)
+    if pairs:
+        scores = np.asarray([p[0] for p in pairs])
+        docs = np.asarray([p[1] for p in pairs])
+        batched.offer_many(scores, docs)
+    assert batched.results() == looped.results()
+
+
+@given(pairs=offers, k=st.integers(min_value=1, max_value=20))
+@settings(max_examples=100, deadline=None)
+def test_threshold_is_weakest_retained(pairs, k):
+    topk = TopK(k)
+    for score, doc in pairs:
+        topk.offer(score, doc)
+    if topk.full:
+        assert topk.threshold == topk.results()[-1][1]
+    else:
+        assert topk.threshold == float("-inf")

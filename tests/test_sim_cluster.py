@@ -1,0 +1,141 @@
+"""Tests for the cluster fan-out model and NHPP arrivals."""
+
+import numpy as np
+import pytest
+
+from repro.engine.query import Query
+from repro.errors import SimulationError
+from repro.policies.fixed import SequentialPolicy
+from repro.profiles.measurement import QueryCostTable
+from repro.sim.arrivals import NHPPArrivals, diurnal_arrivals
+from repro.sim.cluster import ClusterConfig, ClusterSummary, run_cluster_point
+from repro.sim.oracle import ServiceOracle
+
+
+def _table(n=2000, mean=0.002, seed=0):
+    rng = np.random.default_rng(seed)
+    latencies = rng.lognormal(np.log(mean), 0.8, size=n).reshape(n, 1)
+    return QueryCostTable(
+        [Query.of([0], query_id=i) for i in range(n)],
+        (1,),
+        latencies,
+        latencies.copy(),
+        np.ones((n, 1), dtype=np.int64),
+    )
+
+
+class TestClusterModel:
+    def test_single_shard_reduces_to_plain_server(self):
+        oracle = ServiceOracle(_table())
+        config = ClusterConfig(n_shards=1, n_cores_per_shard=4, rate=200.0,
+                               duration=5.0, warmup=1.0,
+                               aggregation_overhead=0.0, seed=1)
+        summary = run_cluster_point(oracle, SequentialPolicy, config)
+        assert summary.observed > 0
+        # With one shard, cluster latency == shard latency distribution.
+        assert summary.tail_amplification == pytest.approx(1.0, abs=0.05)
+
+    def test_fanout_amplifies_median(self):
+        oracle = ServiceOracle(_table())
+        base = dict(n_cores_per_shard=4, rate=100.0, duration=5.0,
+                    warmup=1.0, aggregation_overhead=0.0, seed=2)
+        one = run_cluster_point(oracle, SequentialPolicy,
+                                ClusterConfig(n_shards=1, **base))
+        eight = run_cluster_point(oracle, SequentialPolicy,
+                                  ClusterConfig(n_shards=8, **base))
+        assert eight.p50_latency > one.p50_latency
+
+    def test_cluster_latency_at_least_slowest_shard_median(self):
+        oracle = ServiceOracle(_table())
+        config = ClusterConfig(n_shards=4, n_cores_per_shard=4, rate=50.0,
+                               duration=5.0, warmup=1.0,
+                               aggregation_overhead=0.0, seed=3)
+        summary = run_cluster_point(oracle, SequentialPolicy, config)
+        # max over 4 draws stochastically dominates a single draw.
+        assert summary.p50_latency > 0
+
+    def test_aggregation_overhead_added(self):
+        oracle = ServiceOracle(_table())
+        base = dict(n_shards=2, n_cores_per_shard=4, rate=50.0,
+                    duration=5.0, warmup=1.0, seed=4)
+        without = run_cluster_point(
+            oracle, SequentialPolicy,
+            ClusterConfig(aggregation_overhead=0.0, **base))
+        with_overhead = run_cluster_point(
+            oracle, SequentialPolicy,
+            ClusterConfig(aggregation_overhead=0.005, **base))
+        assert with_overhead.p50_latency == pytest.approx(
+            without.p50_latency + 0.005, rel=0.05)
+
+    def test_policy_factory_called_per_shard(self):
+        oracle = ServiceOracle(_table())
+        created = []
+
+        def factory():
+            policy = SequentialPolicy()
+            created.append(policy)
+            return policy
+
+        run_cluster_point(
+            oracle, factory,
+            ClusterConfig(n_shards=3, n_cores_per_shard=2, rate=20.0,
+                          duration=2.0, warmup=0.5, seed=5),
+        )
+        assert len(created) == 3
+        assert len(set(map(id, created))) == 3
+
+    def test_summary_fields(self):
+        oracle = ServiceOracle(_table())
+        summary = run_cluster_point(
+            oracle, SequentialPolicy,
+            ClusterConfig(n_shards=2, n_cores_per_shard=4, rate=100.0,
+                          duration=4.0, warmup=1.0, seed=6),
+        )
+        assert isinstance(summary, ClusterSummary)
+        assert summary.policy == "sequential"
+        assert summary.p99_latency >= summary.p95_latency >= summary.p50_latency
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(Exception):
+            ClusterConfig(n_shards=0)
+        with pytest.raises(Exception):
+            ClusterConfig(warmup=10.0, duration=5.0)
+
+
+class TestNHPP:
+    def test_constant_rate_matches_poisson_mean(self, rng):
+        process = NHPPArrivals(lambda t: 500.0, 500.0, rng)
+        gaps = [process.next_interarrival() for _ in range(20_000)]
+        assert 1.0 / np.mean(gaps) == pytest.approx(500.0, rel=0.05)
+
+    def test_rate_function_violation_detected(self, rng):
+        process = NHPPArrivals(lambda t: 2000.0, 1000.0, rng)
+        with pytest.raises(SimulationError):
+            for _ in range(100):
+                process.next_interarrival()
+
+    def test_diurnal_mean_rate_over_period(self, rng):
+        period = 10.0
+        process = diurnal_arrivals(base_rate=1000.0, amplitude=0.8,
+                                   period=period, rng=rng)
+        times = np.cumsum([process.next_interarrival() for _ in range(50_000)])
+        full_periods = int(times[-1] / period)
+        inside = times[times < full_periods * period]
+        measured = inside.size / (full_periods * period)
+        assert measured == pytest.approx(1000.0, rel=0.05)
+
+    def test_diurnal_peak_vs_trough_density(self):
+        period = 10.0
+        process = diurnal_arrivals(base_rate=2000.0, amplitude=0.9,
+                                   period=period,
+                                   rng=np.random.default_rng(8))
+        times = np.cumsum([process.next_interarrival() for _ in range(80_000)])
+        phase = (times % period) / period
+        # sin peaks at phase 0.25, troughs at 0.75.
+        peak = np.sum((phase > 0.15) & (phase < 0.35))
+        trough = np.sum((phase > 0.65) & (phase < 0.85))
+        assert peak > 3 * trough
+
+    def test_diurnal_invalid_amplitude(self, rng):
+        with pytest.raises(Exception):
+            diurnal_arrivals(100.0, 1.0, 10.0, rng)

@@ -1,0 +1,169 @@
+"""Tests for the simulator core and arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.arrivals import (
+    DeterministicArrivals,
+    MMPP2Arrivals,
+    PoissonArrivals,
+    TraceArrivals,
+)
+from repro.sim.engine import Simulator
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(2.0, lambda: fired.append("b"))
+        sim.schedule_at(1.0, lambda: fired.append("a"))
+        sim.schedule_at(3.0, lambda: fired.append("c"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.schedule_at(1.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_run_until_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.schedule_at(10.0, lambda: fired.append(2))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        assert sim.pending_events == 1
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 3:
+                sim.schedule(1.0, lambda: chain(depth + 1))
+
+        sim.schedule(0.0, lambda: chain(0))
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        sim.schedule_at(5.0, lambda: sim.schedule_at(1.0, lambda: None))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_backwards_horizon_rejected(self):
+        sim = Simulator()
+        sim.schedule_at(2.0, lambda: None)
+        sim.run(until=3.0)
+        with pytest.raises(SimulationError):
+            sim.run(until=1.0)
+
+    def test_processed_count(self):
+        sim = Simulator()
+        for t in range(5):
+            sim.schedule_at(float(t), lambda: None)
+        sim.run()
+        assert sim.processed_events == 5
+
+
+class TestPoissonArrivals:
+    def test_mean_rate(self, rng):
+        process = PoissonArrivals(rate=100.0, rng=rng)
+        gaps = [process.next_interarrival() for _ in range(20_000)]
+        assert np.mean(gaps) == pytest.approx(0.01, rel=0.05)
+
+    def test_gaps_positive(self, rng):
+        process = PoissonArrivals(rate=10.0, rng=rng)
+        assert all(process.next_interarrival() > 0 for _ in range(100))
+
+    def test_bad_rate_rejected(self, rng):
+        with pytest.raises(Exception):
+            PoissonArrivals(rate=0.0, rng=rng)
+
+
+class TestDeterministicArrivals:
+    def test_constant_spacing(self):
+        process = DeterministicArrivals(rate=4.0)
+        assert [process.next_interarrival() for _ in range(3)] == [0.25] * 3
+
+
+class TestMMPP2:
+    def test_mean_rate_property(self, rng):
+        process = MMPP2Arrivals(10.0, 100.0, 0.9, 0.1, rng)
+        expected = (10.0 * 0.9 + 100.0 * 0.1) / 1.0
+        assert process.mean_rate == pytest.approx(expected)
+
+    def test_with_mean_rate_hits_target(self, rng):
+        process = MMPP2Arrivals.with_mean_rate(
+            mean_rate=200.0, burst_ratio=5.0, mean_dwell=0.05, rng=rng
+        )
+        assert process.mean_rate == pytest.approx(200.0, rel=1e-9)
+        gaps = [process.next_interarrival() for _ in range(60_000)]
+        assert 1.0 / np.mean(gaps) == pytest.approx(200.0, rel=0.1)
+
+    def test_burstier_than_poisson(self, rng):
+        """Index of dispersion of counts should exceed 1 for MMPP."""
+        process = MMPP2Arrivals.with_mean_rate(
+            mean_rate=1000.0, burst_ratio=8.0, mean_dwell=0.1,
+            rng=np.random.default_rng(0),
+        )
+        times = np.cumsum([process.next_interarrival() for _ in range(50_000)])
+        window = 0.1
+        counts = np.bincount((times / window).astype(int))
+        dispersion = counts.var() / counts.mean()
+        assert dispersion > 1.5
+
+    def test_degenerate_ratio_one_is_poisson_like(self, rng):
+        process = MMPP2Arrivals.with_mean_rate(
+            mean_rate=500.0, burst_ratio=1.0, mean_dwell=0.05, rng=rng
+        )
+        assert process.rate_low == pytest.approx(process.rate_high)
+
+    def test_invalid_params_rejected(self, rng):
+        with pytest.raises(Exception):
+            MMPP2Arrivals(100.0, 10.0, 1.0, 1.0, rng)  # high < low
+        with pytest.raises(Exception):
+            MMPP2Arrivals.with_mean_rate(100.0, 0.5, 0.1, rng)  # ratio < 1
+
+
+class TestTraceArrivals:
+    def test_replays_gaps(self):
+        trace = TraceArrivals([0.5, 1.0, 3.0])
+        assert trace.next_interarrival() == 0.5
+        assert trace.next_interarrival() == 0.5
+        assert trace.next_interarrival() == 2.0
+        assert trace.next_interarrival() == float("inf")
+
+    def test_reset(self):
+        trace = TraceArrivals([1.0, 2.0])
+        trace.next_interarrival()
+        trace.reset()
+        assert trace.next_interarrival() == 1.0
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceArrivals([2.0, 1.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceArrivals([-1.0, 1.0])

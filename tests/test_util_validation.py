@@ -1,0 +1,98 @@
+"""Tests for repro.util.validation helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.validation import (
+    require,
+    require_in_range,
+    require_int_in_range,
+    require_nonempty,
+    require_positive,
+    require_type,
+)
+
+
+class TestRequire:
+    def test_passes_on_true(self):
+        require(True, "never raised")
+
+    def test_raises_on_false(self):
+        with pytest.raises(ConfigurationError, match="boom"):
+            require(False, "boom")
+
+
+class TestRequireType:
+    def test_accepts_matching_type(self):
+        assert require_type(3, int, "x") == 3
+
+    def test_accepts_tuple_of_types(self):
+        assert require_type("s", (int, str), "x") == "s"
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(ConfigurationError, match="x must be int"):
+            require_type("s", int, "x")
+
+
+class TestRequirePositive:
+    def test_strict_accepts_positive(self):
+        assert require_positive(0.5, "x") == 0.5
+
+    def test_strict_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            require_positive(0, "x")
+
+    def test_non_strict_accepts_zero(self):
+        assert require_positive(0, "x", strict=False) == 0
+
+    def test_rejects_non_number(self):
+        with pytest.raises(ConfigurationError):
+            require_positive("1", "x")
+
+
+class TestRequireInRange:
+    def test_inclusive_bounds(self):
+        require_in_range(0.0, "x", low=0.0, high=1.0)
+        require_in_range(1.0, "x", low=0.0, high=1.0)
+
+    def test_exclusive_low(self):
+        with pytest.raises(ConfigurationError):
+            require_in_range(0.0, "x", low=0.0, low_inclusive=False)
+
+    def test_exclusive_high(self):
+        with pytest.raises(ConfigurationError):
+            require_in_range(1.0, "x", high=1.0, high_inclusive=False)
+
+    def test_below_low_rejected(self):
+        with pytest.raises(ConfigurationError, match=">= 2"):
+            require_in_range(1, "x", low=2)
+
+    def test_above_high_rejected(self):
+        with pytest.raises(ConfigurationError, match="<= 5"):
+            require_in_range(6, "x", high=5)
+
+
+class TestRequireIntInRange:
+    def test_accepts_int(self):
+        assert require_int_in_range(3, "x", low=1, high=5) == 3
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            require_int_in_range(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ConfigurationError):
+            require_int_in_range(3.0, "x")
+
+
+class TestRequireNonempty:
+    def test_accepts_nonempty(self):
+        assert require_nonempty([1], "x") == [1]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            require_nonempty([], "x")
+
+    def test_rejects_unsized(self):
+        with pytest.raises(ConfigurationError):
+            require_nonempty(iter([1]), "x")

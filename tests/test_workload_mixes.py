@@ -1,0 +1,48 @@
+"""Tests for the named workload mixes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.mixes import MIXES, get_mix
+from repro.workloads.queries import QueryGenerator
+
+
+class TestMixes:
+    def test_all_mixes_valid_configs(self):
+        for name, mix in MIXES.items():
+            generator = QueryGenerator(get_mix(name, vocab_size=2_000, seed=1))
+            queries = generator.sample_many(50)
+            assert all(1 <= q.n_terms <= mix.max_terms for q in queries)
+
+    def test_get_mix_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_mix("bogus")
+
+    def test_get_mix_retargets_vocab_and_seed(self):
+        mix = get_mix("standard", vocab_size=123, seed=9)
+        assert mix.vocab_size == 123
+        assert mix.seed == 9
+
+    def test_navigational_shorter_queries_than_informational(self):
+        nav = QueryGenerator(get_mix("navigational", vocab_size=5_000, seed=2))
+        info = QueryGenerator(get_mix("informational", vocab_size=5_000, seed=2))
+        nav_terms = np.mean([q.n_terms for q in nav.sample_many(800)])
+        info_terms = np.mean([q.n_terms for q in info.sample_many(800)])
+        assert nav_terms < info_terms
+
+    def test_navigational_more_head_skewed(self):
+        nav = QueryGenerator(get_mix("navigational", vocab_size=10_000, seed=3))
+        stress = QueryGenerator(get_mix("stress", vocab_size=10_000, seed=3))
+        nav_head = np.mean(
+            [t < 50 for q in nav.sample_many(500) for t in q.term_ids]
+        )
+        stress_head = np.mean(
+            [t < 50 for q in stress.sample_many(500) for t in q.term_ids]
+        )
+        assert nav_head > stress_head
+
+    def test_mix_does_not_mutate_registry(self):
+        before = MIXES["standard"].vocab_size
+        get_mix("standard", vocab_size=1)
+        assert MIXES["standard"].vocab_size == before
