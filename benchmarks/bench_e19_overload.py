@@ -1,0 +1,11 @@
+"""E19 — Overload & graceful degradation (robustness layer).
+
+Regenerates this experiment's rows/series (see DESIGN.md §3 and
+EXPERIMENTS.md) and enforces its shape checks.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_e19_overload(benchmark, ctx, record_result):
+    run_experiment_benchmark(benchmark, ctx, record_result, "e19")

@@ -32,7 +32,7 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiment ids to run (e01..e11)",
+        help="experiment ids to run (e01..e19)",
     )
     parser.add_argument("--all", action="store_true", help="run every experiment")
     parser.add_argument("--list", action="store_true", help="list experiments")
@@ -41,6 +41,12 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=[s.value for s in Scale],
         default=None,
         help="experiment scale (default: REPRO_SCALE env var or 'reference')",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast CI pass: force the small scale (overrides --scale and "
+        "REPRO_SCALE)",
     )
     parser.add_argument(
         "--json-dir",
@@ -76,7 +82,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         return 2
 
-    scale = Scale(args.scale) if args.scale else None
+    if args.smoke:
+        scale = Scale.SMALL
+    else:
+        scale = Scale(args.scale) if args.scale else None
     ctx = ExperimentContext(scale=scale, seed=args.seed)
     print(f"context: {ctx}\n")
 

@@ -211,6 +211,9 @@ class AdaptiveSearchSystem:
         warmup: float = 4.0,
         seed: int = 42,
         arrivals: Optional[ArrivalProcess] = None,
+        deadline: Optional[float] = None,
+        max_queue_length: Optional[int] = None,
+        slo: Optional[float] = None,
     ) -> LoadPointSummary:
         """Simulate one load point for one policy."""
         config = LoadPointConfig(
@@ -219,6 +222,9 @@ class AdaptiveSearchSystem:
             warmup=warmup,
             n_cores=self.n_cores,
             seed=seed,
+            deadline=deadline,
+            max_queue_length=max_queue_length,
+            slo=slo,
         )
         return run_load_point(self.oracle, self.policy(policy_name), config, arrivals)
 

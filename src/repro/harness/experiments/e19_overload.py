@@ -1,0 +1,242 @@
+"""E19 (extension) — Overload and graceful degradation.
+
+The fault-free experiments let queues grow without bound and make the
+aggregator wait for the slowest shard no matter what. Real ISNs enforce
+per-query deadlines, shed load past saturation, and return partial
+answers rather than miss the SLO. This experiment turns those knobs on
+and asks what adaptive parallelism buys when the system is allowed to
+*fail gracefully*:
+
+* **Node overload** — a load sweep through and past saturation with a
+  deadline and an admission cap. Adaptive execution reverts to
+  sequential under load, so it saturates later than a fixed-wide
+  policy and sheds less at the same offered rate; goodput (in-SLO
+  completions/sec) plateaus at capacity instead of collapsing the way
+  the no-shedding baseline's does.
+* **Cluster faults** — a fan-out cluster with one injected slow shard:
+  hedged requests to fault-free replicas cut the end-to-end P99; a
+  crashed shard with K-of-N quorum aggregation degrades to partial
+  answers (coverage < 1) instead of stalling the aggregator.
+"""
+
+from __future__ import annotations
+
+from repro.harness.context import ExperimentContext
+from repro.harness.result import ExperimentResult
+from repro.sim.cluster import ClusterConfig, run_cluster_point
+from repro.sim.faults import ClusterFaultPlan, FaultSchedule
+from repro.util.tables import Table
+
+EXPERIMENT_ID = "e19"
+TITLE = "Overload & graceful degradation (deadlines, shedding, faults, hedging)"
+
+#: Sequential-work utilizations swept through saturation (1.0 = the
+#: sequential capacity of the ISN; beyond it, demand exceeds the machine).
+OVERLOAD_UTILIZATIONS = (0.7, 1.0, 1.2, 1.5)
+#: The over-saturation point where shed rates are compared head-to-head.
+OVER_SATURATION = 1.2
+#: SLO budget as a multiple of the idle sequential P99 (same convention
+#: as E8's capacity SLA).
+SLO_MULTIPLE = 2.5
+#: Admission cap per core — generous, so the deadline does most of the
+#: shedding and the cap only bounds the queue under deep overload.
+QUEUE_CAP_PER_CORE = 32
+
+#: Cluster scenario parameters.
+N_SHARDS = 4
+CLUSTER_UTILIZATION = 0.3
+SLOW_SHARD = 0
+SLOW_MULTIPLIER = 4.0
+QUORUM = 3
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    system = ctx.system
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        description=(
+            "Robustness layer end to end: deadline shedding and goodput "
+            f"through a load sweep ({OVERLOAD_UTILIZATIONS} x sequential "
+            "saturation) on one ISN, then fault injection (one shard "
+            f"slowed {SLOW_MULTIPLIER}x, one crash window) on a "
+            f"{N_SHARDS}-shard cluster with hedged and K-of-N partial "
+            "aggregation."
+        ),
+    )
+
+    slo = SLO_MULTIPLE * float(system.service_distribution.percentile(99))
+    cap = QUEUE_CAP_PER_CORE * system.n_cores
+
+    # ---------------------------------------------------------------
+    # Part A: node-level overload sweep with deadline + admission cap.
+    # ---------------------------------------------------------------
+    shed_rates = {}
+    goodputs = {}
+    node_table = Table(
+        ["policy", "load (x saturation)", "shed rate", "goodput (qps)",
+         "SLO attainment", "P99 (ms)"],
+        title=f"Node overload sweep (SLO = {slo*1e3:.1f} ms, shedding on)",
+    )
+    for policy_name in ("fixed-8", "adaptive"):
+        for i, u in enumerate(OVERLOAD_UTILIZATIONS):
+            summary = system.run_point(
+                policy_name,
+                system.rate_for_utilization(u),
+                duration=ctx.sim_duration,
+                warmup=ctx.sim_warmup,
+                seed=190 + i,
+                deadline=slo,
+                max_queue_length=cap,
+            )
+            shed_rates[(policy_name, u)] = summary.shed_rate
+            goodputs[(policy_name, u)] = summary.goodput
+            node_table.add_row(
+                [policy_name, u, summary.shed_rate, summary.goodput,
+                 summary.slo_attainment, summary.p99_latency * 1e3]
+            )
+    # No-shedding baseline: same sweep, deadline off, scored against the
+    # same SLO bar — shows what "just queue forever" does to goodput.
+    noshed_goodputs = []
+    for i, u in enumerate(OVERLOAD_UTILIZATIONS):
+        summary = system.run_point(
+            "adaptive",
+            system.rate_for_utilization(u),
+            duration=ctx.sim_duration,
+            warmup=ctx.sim_warmup,
+            seed=190 + i,
+            slo=slo,
+        )
+        noshed_goodputs.append(summary.goodput)
+        node_table.add_row(
+            ["adaptive (no shed)", u, summary.shed_rate, summary.goodput,
+             summary.slo_attainment, summary.p99_latency * 1e3]
+        )
+    result.add_table(node_table)
+
+    # ---------------------------------------------------------------
+    # Part B: cluster fault injection, hedging, partial aggregation.
+    # ---------------------------------------------------------------
+    rate = system.rate_for_utilization(CLUSTER_UTILIZATION)
+    duration = max(ctx.sim_duration * 0.75, 4.0)
+    warmup = duration / 4.0
+    base = dict(
+        n_shards=N_SHARDS,
+        n_cores_per_shard=system.n_cores,
+        rate=rate,
+        duration=duration,
+        warmup=warmup,
+        seed=191,
+    )
+    hedge_delay = 2.0 * float(system.service_distribution.percentile(95))
+    slow_plan = ClusterFaultPlan.slow_shard(
+        SLOW_SHARD, 0.0, duration, SLOW_MULTIPLIER
+    )
+    crash_plan = ClusterFaultPlan(
+        {SLOW_SHARD: FaultSchedule.crash(warmup, warmup + (duration - warmup) / 2)}
+    )
+    scenarios = {
+        "fault-free": (ClusterConfig(**base), None),
+        "slow shard": (ClusterConfig(**base), slow_plan),
+        "slow shard + hedging": (
+            ClusterConfig(hedge_delay=hedge_delay, **base),
+            slow_plan,
+        ),
+        "crash + quorum 3/4 + timeout": (
+            ClusterConfig(
+                quorum=QUORUM,
+                shard_timeout=max(8.0 * hedge_delay, 2.0 * slo),
+                **base,
+            ),
+            crash_plan,
+        ),
+    }
+    cluster = {}
+    cluster_table = Table(
+        ["scenario", "cluster P99 (ms)", "coverage", "partial", "failed",
+         "shed", "hedges (wins)", "unfinished"],
+        title=f"Cluster degradation ({N_SHARDS} shards, adaptive, "
+              f"per-shard u={CLUSTER_UTILIZATION})",
+    )
+    for label, (config, plan) in scenarios.items():
+        summary = run_cluster_point(
+            system.oracle, lambda: system.policy("adaptive"), config,
+            faults=plan,
+        )
+        cluster[label] = summary
+        cluster_table.add_row(
+            [label, summary.p99_latency * 1e3, summary.mean_coverage,
+             summary.n_partial, summary.n_failed, summary.n_shed,
+             f"{summary.n_hedges} ({summary.n_hedge_wins})",
+             summary.unfinished]
+        )
+    result.add_table(cluster_table)
+
+    # ---------------------------------------------------------------
+    # Shape checks.
+    # ---------------------------------------------------------------
+    adaptive_shed = shed_rates[("adaptive", OVER_SATURATION)]
+    fixed_shed = shed_rates[("fixed-8", OVER_SATURATION)]
+    result.add_check(
+        f"adaptive sheds less than fixed-8 at {OVER_SATURATION}x saturation",
+        adaptive_shed < fixed_shed,
+        f"{adaptive_shed*100:.1f}% vs {fixed_shed*100:.1f}%",
+    )
+
+    adaptive_goodput = [goodputs[("adaptive", u)] for u in OVERLOAD_UTILIZATIONS]
+    peak = max(adaptive_goodput)
+    past_peak = adaptive_goodput[adaptive_goodput.index(peak):]
+    result.add_check(
+        "goodput degrades gracefully past saturation (no cliff: every "
+        "post-peak point >= 60% of peak)",
+        peak > 0 and all(g >= 0.6 * peak for g in past_peak),
+        " -> ".join(f"{g:.0f}" for g in adaptive_goodput) + " qps",
+    )
+    result.add_check(
+        "shedding beats queueing-forever on goodput at the deepest "
+        "overload point",
+        adaptive_goodput[-1] > noshed_goodputs[-1],
+        f"{adaptive_goodput[-1]:.0f} vs {noshed_goodputs[-1]:.0f} qps at "
+        f"{OVERLOAD_UTILIZATIONS[-1]}x",
+    )
+
+    hedged = cluster["slow shard + hedging"]
+    unhedged = cluster["slow shard"]
+    result.add_check(
+        "hedging cuts cluster P99 under a slow-shard fault",
+        hedged.p99_latency < unhedged.p99_latency,
+        f"{hedged.p99_latency*1e3:.1f} vs {unhedged.p99_latency*1e3:.1f} ms "
+        f"({hedged.n_hedges} hedges, {hedged.n_hedge_wins} wins)",
+    )
+
+    degraded = cluster["crash + quorum 3/4 + timeout"]
+    result.add_check(
+        "quorum aggregation degrades to partial answers under a crash "
+        "(0 < coverage < 1, no failures)",
+        degraded.n_partial > 0
+        and 0.0 < degraded.mean_coverage < 1.0
+        and degraded.n_failed == 0,
+        f"coverage {degraded.mean_coverage:.3f}, "
+        f"{degraded.n_partial} partial / {degraded.n_failed} failed",
+    )
+    clean = cluster["fault-free"]
+    result.add_check(
+        "fault-free cluster run is undegraded (no sheds, no partials, "
+        "full coverage)",
+        clean.n_shed == 0 and clean.n_partial == 0
+        and clean.mean_coverage == 1.0 and clean.unfinished == 0,
+        f"coverage {clean.mean_coverage:.3f}",
+    )
+
+    result.data = {
+        "slo_ms": slo * 1e3,
+        "utilizations": list(OVERLOAD_UTILIZATIONS),
+        "shed_rates": {f"{p}/{u}": v for (p, u), v in shed_rates.items()},
+        "goodput_qps": {f"{p}/{u}": v for (p, u), v in goodputs.items()},
+        "noshed_goodput_qps": noshed_goodputs,
+        "cluster_p99_ms": {k: v.p99_latency * 1e3 for k, v in cluster.items()},
+        "cluster_coverage": {k: v.mean_coverage for k, v in cluster.items()},
+        "hedges": hedged.n_hedges,
+        "hedge_wins": hedged.n_hedge_wins,
+    }
+    return result

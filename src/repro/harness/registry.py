@@ -25,6 +25,7 @@ from repro.harness.experiments import (
     e16_topical,
     e17_thresholds,
     e18_plan_clamp,
+    e19_overload,
 )
 from repro.harness.result import ExperimentResult
 
@@ -49,6 +50,7 @@ _MODULES = (
     e16_topical,
     e17_thresholds,
     e18_plan_clamp,
+    e19_overload,
 )
 
 EXPERIMENTS: Dict[str, ExperimentRunner] = {

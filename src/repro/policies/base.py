@@ -26,6 +26,14 @@ class SystemState:
         Idle cores at this instant (>= 1 at dispatch time).
     n_cores:
         Total cores of the ISN.
+    n_shed:
+        Queries this server has dropped so far (admission cap, deadline,
+        or fault shedding). Zero on servers without robustness limits.
+    overloaded:
+        True when the server is actively shedding load (its dispatch
+        queue sits at the admission cap, or the head-of-queue wait
+        already exceeds the deadline). Policies may use this to bias
+        toward sequential execution during overload.
     """
 
     now: float
@@ -33,6 +41,8 @@ class SystemState:
     n_running: int
     free_cores: int
     n_cores: int
+    n_shed: int = 0
+    overloaded: bool = False
 
     @property
     def n_in_system(self) -> int:

@@ -9,6 +9,7 @@ from repro.sim.arrivals import (
 )
 from repro.sim.engine import Simulator
 from repro.sim.experiment import LoadPointConfig, LoadPointSummary, run_load_point
+from repro.sim.faults import CRASH, ClusterFaultPlan, FaultSchedule, FaultWindow
 from repro.sim.metrics import MetricsCollector
 from repro.sim.oracle import ServiceOracle
 from repro.sim.server import IndexServerModel
@@ -23,6 +24,10 @@ __all__ = [
     "LoadPointConfig",
     "LoadPointSummary",
     "run_load_point",
+    "CRASH",
+    "ClusterFaultPlan",
+    "FaultSchedule",
+    "FaultWindow",
     "MetricsCollector",
     "ServiceOracle",
     "IndexServerModel",

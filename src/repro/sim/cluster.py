@@ -12,10 +12,29 @@ improvement compounds at the aggregator.
 Each cluster query draws an independent cost-table row per shard
 (different partitions do different work for the same query) and is
 recorded when its last shard response lands.
+
+Graceful degradation (all opt-in; defaults reproduce the wait-for-all
+aggregator exactly):
+
+* ``quorum`` — answer after K of N shard responses instead of all N,
+  recording a *partial* result and its coverage (K/N of the index
+  searched).
+* ``shard_timeout`` — per-query budget at the aggregator: when it
+  expires, answer with whatever shards have responded (partial), or
+  count a failure if none have.
+* ``hedge_delay`` — tail hedging: when a query is still incomplete this
+  long after arrival, re-issue the laggard shard requests to fault-free
+  replica servers and take whichever copy answers first.
+* per-shard fault injection (:mod:`repro.sim.faults`) and shard-level
+  deadlines / admission caps (see :class:`IndexServerModel`): shed
+  shard requests release the aggregator's join state instead of
+  blocking it forever.
 """
 
 from __future__ import annotations
 
+import math
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -24,6 +43,7 @@ import numpy as np
 from repro.policies.base import ParallelismPolicy
 from repro.sim.arrivals import ArrivalProcess, PoissonArrivals
 from repro.sim.engine import Simulator
+from repro.sim.faults import ClusterFaultPlan
 from repro.sim.metrics import MetricsCollector, QueryRecord
 from repro.sim.oracle import ServiceOracle
 from repro.sim.server import IndexServerModel
@@ -34,12 +54,29 @@ from repro.util.validation import require, require_int_in_range, require_positiv
 class _InFlight:
     """Join state for one fanned-out cluster query."""
 
-    __slots__ = ("arrival", "remaining", "last_completion")
+    __slots__ = (
+        "arrival",
+        "query_indices",
+        "responded",
+        "outstanding",
+        "n_responded",
+        "last_completion",
+        "hedged",
+        "done",
+    )
 
-    def __init__(self, arrival: float, n_shards: int) -> None:
+    def __init__(self, arrival: float, query_indices: List[int]) -> None:
         self.arrival = arrival
-        self.remaining = n_shards
+        # Per-shard cost-table rows, remembered so hedged re-issues do
+        # the same work on the replica as on the primary.
+        self.query_indices = query_indices
+        n_shards = len(query_indices)
+        self.responded = [False] * n_shards
+        self.outstanding = [1] * n_shards  # live attempts per shard
+        self.n_responded = 0
         self.last_completion = arrival
+        self.hedged = False
+        self.done = False
 
 
 @dataclass(frozen=True)
@@ -50,6 +87,11 @@ class ClusterConfig:
     so each shard also sees ``rate`` queries per second.
     ``aggregation_overhead`` models the merge/network step after the
     last shard responds.
+
+    The robustness knobs (``deadline``, ``max_queue_length``,
+    ``quorum``, ``shard_timeout``, ``hedge_delay``) all default to off;
+    a default config is bit-identical to the fault-free wait-for-all
+    aggregator.
     """
 
     n_shards: int = 8
@@ -59,6 +101,20 @@ class ClusterConfig:
     warmup: float = 4.0
     aggregation_overhead: float = 200e-6
     seed: int = 0
+    #: Per-query SLO budget enforced at each shard (shed at dispatch
+    #: once the queue wait has consumed it); also the bar used for the
+    #: cluster's goodput / SLO-attainment statistics.
+    deadline: Optional[float] = None
+    #: Per-shard admission cap on the dispatch queue.
+    max_queue_length: Optional[int] = None
+    #: Answer after this many shard responses (K-of-N). None = all N.
+    quorum: Optional[int] = None
+    #: Aggregator-side budget per query: answer partially (or fail, if
+    #: nothing responded) this long after arrival. None = wait forever.
+    shard_timeout: Optional[float] = None
+    #: Hedge laggard shard requests to a replica this long after
+    #: arrival. None = no hedging (and no replica servers exist).
+    hedge_delay: Optional[float] = None
 
     def __post_init__(self) -> None:
         require_int_in_range(self.n_shards, "n_shards", low=1)
@@ -67,6 +123,18 @@ class ClusterConfig:
         require_positive(self.duration, "duration")
         require(0 <= self.warmup < self.duration, "need 0 <= warmup < duration")
         require(self.aggregation_overhead >= 0, "aggregation_overhead must be >= 0")
+        if self.deadline is not None:
+            require_positive(self.deadline, "deadline")
+        if self.max_queue_length is not None:
+            require_int_in_range(self.max_queue_length, "max_queue_length", low=1)
+        if self.quorum is not None:
+            require_int_in_range(
+                self.quorum, "quorum", low=1, high=self.n_shards
+            )
+        if self.shard_timeout is not None:
+            require_positive(self.shard_timeout, "shard_timeout")
+        if self.hedge_delay is not None:
+            require_positive(self.hedge_delay, "hedge_delay")
 
 
 @dataclass(frozen=True)
@@ -83,6 +151,24 @@ class ClusterSummary:
     p99_latency: float
     shard_p99_latency: float  # P99 of individual shard responses
     tail_amplification: float  # cluster P99 / shard P99
+    # Robustness statistics. With no deadline/quorum/timeout/hedging
+    # configured these are the trivial values (all answers full, no
+    # sheds, coverage 1.0).
+    n_full: int = 0  # answers covering every shard
+    n_partial: int = 0  # answers missing >= 1 shard
+    n_failed: int = 0  # queries answered by no shard at all
+    n_timed_out: int = 0  # answers forced out by shard_timeout
+    n_shed: int = 0  # shard-level requests dropped (all shards)
+    n_hedges: int = 0  # replica requests issued
+    n_hedge_wins: int = 0  # shards answered first by the replica
+    unfinished: int = 0  # queries still in flight at the drain limit
+    mean_coverage: float = float("nan")  # shards answered / N, per answer
+    slo_attainment: float = float("nan")  # answers in SLO / demand
+    goodput: float = float("nan")  # in-SLO answers per second
+
+    @property
+    def answered(self) -> int:
+        return self.n_full + self.n_partial
 
 
 def run_cluster_point(
@@ -90,11 +176,15 @@ def run_cluster_point(
     policy_factory,
     config: ClusterConfig,
     arrivals: Optional[ArrivalProcess] = None,
+    faults: Optional[ClusterFaultPlan] = None,
 ) -> ClusterSummary:
     """Simulate one cluster load point.
 
     ``policy_factory`` is called once per shard — policies may be
     stateful (e.g. EWMA variants), so shards must not share an instance.
+    ``faults`` injects per-shard slowdown/crash schedules (replica
+    servers used for hedging are deliberately fault-free — replicas are
+    different machines, which is what hedging exploits).
     """
     rng = make_rng(config.seed)
     arrival_rng = np.random.default_rng(rng.integers(2**63))
@@ -106,52 +196,147 @@ def run_cluster_point(
     in_flight: Dict[int, _InFlight] = {}
     cluster_latencies: List[float] = []
     shard_latencies: List[float] = []
+    coverages: List[float] = []
+    counters = {
+        "full": 0, "partial": 0, "failed": 0, "timed_out": 0,
+        "hedges": 0, "hedge_wins": 0, "in_slo": 0,
+    }
 
-    def on_shard_complete(record: QueryRecord, tag) -> None:
-        state = in_flight.get(tag)
-        if state is None:
+    def finalize(tag: int, state: _InFlight, now: float, timed_out: bool) -> None:
+        """Emit the aggregator's answer (or record the failure)."""
+        state.done = True
+        del in_flight[tag]
+        if state.arrival < config.warmup:
             return
-        state.remaining -= 1
-        state.last_completion = max(state.last_completion, record.completion)
-        if state.remaining == 0:
-            del in_flight[tag]
-            if state.arrival >= config.warmup:
-                end = state.last_completion + config.aggregation_overhead
-                cluster_latencies.append(end - state.arrival)
+        coverage = state.n_responded / config.n_shards
+        if timed_out:
+            counters["timed_out"] += 1
+        if state.n_responded == 0:
+            counters["failed"] += 1
+            return
+        counters["full" if coverage == 1.0 else "partial"] += 1
+        latency = now + config.aggregation_overhead - state.arrival
+        cluster_latencies.append(latency)
+        coverages.append(coverage)
+        if config.deadline is not None and latency <= config.deadline:
+            counters["in_slo"] += 1
+
+    def check_done(tag: int, state: _InFlight, now: float) -> None:
+        if state.n_responded == config.n_shards:
+            finalize(tag, state, now, timed_out=False)
+            return
+        if config.quorum is not None and state.n_responded >= config.quorum:
+            finalize(tag, state, now, timed_out=False)
+            return
+        # Every attempt is dead and no hedge can revive the laggards:
+        # answer with what we have rather than wait for nothing.
+        hedge_pending = config.hedge_delay is not None and not state.hedged
+        if not hedge_pending and not any(state.outstanding):
+            finalize(tag, state, now, timed_out=False)
+
+    def on_shard_complete(record: QueryRecord, tag, from_replica: bool = False):
+        cluster_tag, shard_id = tag
         if record.arrival >= config.warmup:
             shard_latencies.append(record.latency)
+        state = in_flight.get(cluster_tag)
+        if state is None or state.done:
+            return  # duplicate of an already-answered query
+        state.outstanding[shard_id] -= 1
+        if not state.responded[shard_id]:
+            state.responded[shard_id] = True
+            state.n_responded += 1
+            state.last_completion = max(state.last_completion, record.completion)
+            if from_replica:
+                counters["hedge_wins"] += 1
+            check_done(cluster_tag, state, record.completion)
 
-    shards: List[IndexServerModel] = []
-    policy_name = None
-    for shard_id in range(config.n_shards):
-        policy: ParallelismPolicy = policy_factory()
-        policy_name = policy.name
-        metrics = MetricsCollector(
-            warmup=config.warmup,
-            horizon=config.duration,
-            n_cores=config.n_cores_per_shard,
-        )
-        shards.append(
-            IndexServerModel(
-                simulator,
-                oracle,
-                policy,
-                config.n_cores_per_shard,
-                metrics,
-                on_query_complete=on_shard_complete,
+    def on_replica_complete(record: QueryRecord, tag) -> None:
+        on_shard_complete(record, tag, from_replica=True)
+
+    def on_shard_shed(query_index: int, tag, reason: str, now: float) -> None:
+        cluster_tag, shard_id = tag
+        state = in_flight.get(cluster_tag)
+        if state is None or state.done:
+            return
+        state.outstanding[shard_id] -= 1
+        check_done(cluster_tag, state, now)
+
+    def make_shards(fault_plan, on_complete, on_shed) -> List[IndexServerModel]:
+        servers = []
+        for shard_id in range(config.n_shards):
+            policy: ParallelismPolicy = policy_factory()
+            metrics = MetricsCollector(
+                warmup=config.warmup,
+                horizon=config.duration,
+                n_cores=config.n_cores_per_shard,
             )
-        )
+            servers.append(
+                IndexServerModel(
+                    simulator,
+                    oracle,
+                    policy,
+                    config.n_cores_per_shard,
+                    metrics,
+                    on_query_complete=on_complete,
+                    deadline=config.deadline,
+                    max_queue_length=config.max_queue_length,
+                    faults=(
+                        fault_plan.schedule_for(shard_id)
+                        if fault_plan is not None
+                        else None
+                    ),
+                    on_query_shed=on_shed,
+                )
+            )
+        return servers
+
+    shards = make_shards(faults, on_shard_complete, on_shard_shed)
+    policy_name = shards[0].policy.name
+    replicas: List[IndexServerModel] = (
+        make_shards(None, on_replica_complete, on_shard_shed)
+        if config.hedge_delay is not None
+        else []
+    )
 
     n_queries = oracle.n_queries
     next_tag = [0]
 
+    def hedge(tag: int) -> None:
+        """Re-issue every laggard shard request to its replica."""
+        state = in_flight.get(tag)
+        if state is None or state.done:
+            return
+        state.hedged = True
+        issued = False
+        for shard_id in range(config.n_shards):
+            if not state.responded[shard_id]:
+                state.outstanding[shard_id] += 1
+                counters["hedges"] += 1
+                issued = True
+                replicas[shard_id].submit(
+                    state.query_indices[shard_id], tag=(tag, shard_id)
+                )
+        if not issued:
+            check_done(tag, state, simulator.now)
+
+    def timeout(tag: int) -> None:
+        state = in_flight.get(tag)
+        if state is None or state.done:
+            return
+        finalize(tag, state, simulator.now, timed_out=True)
+
     def arrive() -> None:
         tag = next_tag[0]
         next_tag[0] += 1
-        in_flight[tag] = _InFlight(simulator.now, config.n_shards)
-        for shard in shards:
+        indices = [int(sample_rng.integers(n_queries)) for _ in shards]
+        in_flight[tag] = _InFlight(simulator.now, indices)
+        for shard_id, shard in enumerate(shards):
             # Independent work per partition for the same logical query.
-            shard.submit(int(sample_rng.integers(n_queries)), tag=tag)
+            shard.submit(indices[shard_id], tag=(tag, shard_id))
+        if config.hedge_delay is not None:
+            simulator.schedule(config.hedge_delay, lambda t=tag: hedge(t))
+        if config.shard_timeout is not None:
+            simulator.schedule(config.shard_timeout, lambda t=tag: timeout(t))
         schedule_next()
 
     def schedule_next() -> None:
@@ -165,11 +350,22 @@ def run_cluster_point(
     drain_limit = config.duration * 10.0
     while in_flight and simulator.now < drain_limit and simulator.pending_events:
         simulator.step()
+    unfinished = len(in_flight)
+    if unfinished:
+        warnings.warn(
+            f"cluster drain limit ({drain_limit:.1f}s) tripped with "
+            f"{unfinished} queries still in flight; tail statistics are "
+            "censored (the load point is deeply saturated)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
 
     cluster = np.asarray(cluster_latencies, dtype=np.float64)
     shard_arr = np.asarray(shard_latencies, dtype=np.float64)
     cluster_p99 = float(np.percentile(cluster, 99)) if cluster.size else float("nan")
     shard_p99 = float(np.percentile(shard_arr, 99)) if shard_arr.size else float("nan")
+    demand = counters["full"] + counters["partial"] + counters["failed"]
+    window = config.duration - config.warmup
     return ClusterSummary(
         policy=policy_name or "unknown",
         n_shards=config.n_shards,
@@ -180,5 +376,30 @@ def run_cluster_point(
         p95_latency=float(np.percentile(cluster, 95)) if cluster.size else float("nan"),
         p99_latency=cluster_p99,
         shard_p99_latency=shard_p99,
-        tail_amplification=cluster_p99 / shard_p99 if shard_p99 else float("nan"),
+        tail_amplification=(
+            cluster_p99 / shard_p99
+            if math.isfinite(shard_p99) and shard_p99 > 0
+            else float("nan")
+        ),
+        n_full=counters["full"],
+        n_partial=counters["partial"],
+        n_failed=counters["failed"],
+        n_timed_out=counters["timed_out"],
+        n_shed=sum(s.n_shed for s in shards) + sum(r.n_shed for r in replicas),
+        n_hedges=counters["hedges"],
+        n_hedge_wins=counters["hedge_wins"],
+        unfinished=unfinished,
+        mean_coverage=(
+            float(np.mean(coverages)) if coverages else float("nan")
+        ),
+        slo_attainment=(
+            counters["in_slo"] / demand
+            if config.deadline is not None and demand
+            else float("nan")
+        ),
+        goodput=(
+            counters["in_slo"] / window
+            if config.deadline is not None
+            else float("nan")
+        ),
     )

@@ -34,12 +34,29 @@ class LoadPointConfig:
     seed: int = 0
     #: Cap grants at the query's plan size (see IndexServerModel).
     clamp_to_plan: bool = False
+    #: Per-query SLO budget; queries whose queue wait exhausts it are
+    #: shed at dispatch. None = run every query to completion.
+    deadline: Optional[float] = None
+    #: Admission cap on the dispatch queue; arrivals beyond it are
+    #: rejected. None = unbounded queue.
+    max_queue_length: Optional[int] = None
+    #: SLO bar for goodput / attainment *measurement only* (no
+    #: shedding). Defaults to ``deadline`` when that is set; setting
+    #: ``slo`` alone measures how a run without shedding would have
+    #: scored against the same bar.
+    slo: Optional[float] = None
 
     def __post_init__(self) -> None:
         require_positive(self.rate, "rate")
         require_positive(self.duration, "duration")
         require(0 <= self.warmup < self.duration, "need 0 <= warmup < duration")
         require_int_in_range(self.n_cores, "n_cores", low=1)
+        if self.deadline is not None:
+            require_positive(self.deadline, "deadline")
+        if self.max_queue_length is not None:
+            require_int_in_range(self.max_queue_length, "max_queue_length", low=1)
+        if self.slo is not None:
+            require_positive(self.slo, "slo")
 
 
 @dataclass(frozen=True)
@@ -60,6 +77,13 @@ class LoadPointSummary:
     mean_queue_delay: float
     mean_degree: float
     degree_histogram: Dict[int, float] = field(default_factory=dict)
+    # Robustness statistics (meaningful only when a deadline and/or
+    # admission cap is configured; zeros / NaN otherwise).
+    n_shed: int = 0
+    shed_rate: float = 0.0
+    goodput: float = float("nan")  # in-SLO completions/sec
+    slo_attainment: float = float("nan")  # fraction of demand in SLO
+    deadline: Optional[float] = None
 
     @property
     def saturated(self) -> bool:
@@ -86,6 +110,8 @@ def run_load_point(
     server = IndexServerModel(
         simulator, oracle, policy, config.n_cores, metrics,
         clamp_to_plan=config.clamp_to_plan,
+        deadline=config.deadline,
+        max_queue_length=config.max_queue_length,
     )
 
     n_queries = oracle.n_queries
@@ -121,6 +147,7 @@ def run_load_point(
 
 
 def _summarize(metrics, policy, config, offered, queue_delays):
+    deadline = getattr(config, "slo", None) or getattr(config, "deadline", None)
     return LoadPointSummary(
         policy=policy.name,
         rate=config.rate,
@@ -136,6 +163,13 @@ def _summarize(metrics, policy, config, offered, queue_delays):
         mean_queue_delay=float(queue_delays.mean()) if queue_delays.size else float("nan"),
         mean_degree=metrics.mean_degree(),
         degree_histogram=metrics.degree_histogram(),
+        n_shed=metrics.n_shed_in_window,
+        shed_rate=metrics.shed_rate(),
+        goodput=metrics.goodput(deadline) if deadline is not None else float("nan"),
+        slo_attainment=(
+            metrics.slo_attainment(deadline) if deadline is not None else float("nan")
+        ),
+        deadline=deadline,
     )
 
 

@@ -1,0 +1,206 @@
+"""Deterministic fault injection for the simulated ISN and cluster.
+
+Real index-serving fleets degrade in two characteristic ways: a machine
+goes *slow* (background compaction, co-located tenant, thermal
+throttling — service times inflate by some factor for a while) or it
+goes *away* (crash, network partition — requests in that window are
+never answered and the node recovers later). Both matter to the
+adaptive-parallelism story because the cluster tail is a max over
+shards: one degraded shard is enough to move the aggregate P99.
+
+This module expresses both as **seeded, precomputed schedules** so fault
+runs are exactly reproducible: a :class:`FaultSchedule` is a list of
+non-overlapping :class:`FaultWindow` intervals, each either a slowdown
+(finite service-time multiplier > 0) or a crash (``CRASH`` sentinel).
+The server consumes a schedule through two pure lookups —
+:meth:`FaultSchedule.multiplier_at` scales a query's service time at
+dispatch, and :meth:`FaultSchedule.crashed_at` sheds queries dispatched
+inside a crash window (the aggregator sees the shed and degrades to a
+partial answer rather than waiting forever).
+
+:class:`ClusterFaultPlan` maps shard ids to schedules;
+:func:`ClusterFaultPlan.generate` draws a random plan from a seed so
+sweeps can inject "one slow shard" or "rolling crashes" without
+hand-writing intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import FaultInjectionError
+from repro.util.rng import make_rng
+
+#: Service-time multiplier meaning "the shard is down in this window".
+CRASH = float("inf")
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One fault interval: ``[start, end)`` with a service-time multiplier.
+
+    A finite ``multiplier`` > 1 models a slow shard (1.0 is a no-op and
+    < 1.0 a speedup, allowed for completeness); ``multiplier == CRASH``
+    (infinity) models a crashed shard — queries dispatched inside the
+    window are dropped, and the shard serves normally again at ``end``.
+    """
+
+    start: float
+    end: float
+    multiplier: float = CRASH
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start < self.end:
+            raise FaultInjectionError(
+                f"need 0 <= start < end, got [{self.start}, {self.end})"
+            )
+        if not self.multiplier > 0:
+            raise FaultInjectionError(
+                f"multiplier must be > 0 (or CRASH), got {self.multiplier}"
+            )
+
+    @property
+    def is_crash(self) -> bool:
+        return self.multiplier == CRASH
+
+
+class FaultSchedule:
+    """Non-overlapping fault windows for one server, sorted by start."""
+
+    def __init__(self, windows: Iterable[FaultWindow] = ()) -> None:
+        ordered = sorted(windows, key=lambda w: w.start)
+        for earlier, later in zip(ordered, ordered[1:]):
+            if later.start < earlier.end:
+                raise FaultInjectionError(
+                    f"fault windows overlap: [{earlier.start}, {earlier.end}) "
+                    f"and [{later.start}, {later.end})"
+                )
+        self.windows: Tuple[FaultWindow, ...] = tuple(ordered)
+
+    def _window_at(self, t: float) -> Optional[FaultWindow]:
+        for window in self.windows:
+            if window.start <= t < window.end:
+                return window
+            if window.start > t:
+                break
+        return None
+
+    def multiplier_at(self, t: float) -> float:
+        """Service-time multiplier in effect at time ``t`` (1.0 if healthy).
+
+        Crash windows report 1.0 here: a crashed shard does not serve at
+        all (see :meth:`crashed_at`), so no finite scaling applies.
+        """
+        window = self._window_at(t)
+        if window is None or window.is_crash:
+            return 1.0
+        return window.multiplier
+
+    def crashed_at(self, t: float) -> bool:
+        """True if ``t`` falls inside a crash window."""
+        window = self._window_at(t)
+        return window is not None and window.is_crash
+
+    @property
+    def has_faults(self) -> bool:
+        return bool(self.windows)
+
+    @staticmethod
+    def slowdown(start: float, end: float, multiplier: float) -> "FaultSchedule":
+        """One slowdown interval — the common "one slow shard" case."""
+        return FaultSchedule([FaultWindow(start, end, multiplier)])
+
+    @staticmethod
+    def crash(start: float, end: float) -> "FaultSchedule":
+        """One crash/recovery interval."""
+        return FaultSchedule([FaultWindow(start, end, CRASH)])
+
+    def __repr__(self) -> str:
+        return f"FaultSchedule({len(self.windows)} windows)"
+
+
+class ClusterFaultPlan:
+    """Per-shard fault schedules for a cluster run.
+
+    Shards absent from the mapping are healthy. Replica (hedge) servers
+    are intentionally *not* covered by the plan: a replica is a
+    different machine, and that fault independence is exactly what
+    hedged requests exploit.
+    """
+
+    def __init__(self, schedules: Optional[Dict[int, FaultSchedule]] = None) -> None:
+        self.schedules: Dict[int, FaultSchedule] = dict(schedules or {})
+        for shard_id, schedule in self.schedules.items():
+            if not isinstance(schedule, FaultSchedule):
+                raise FaultInjectionError(
+                    f"shard {shard_id}: expected FaultSchedule, "
+                    f"got {type(schedule).__name__}"
+                )
+
+    def schedule_for(self, shard_id: int) -> Optional[FaultSchedule]:
+        return self.schedules.get(shard_id)
+
+    @property
+    def has_faults(self) -> bool:
+        return any(s.has_faults for s in self.schedules.values())
+
+    @staticmethod
+    def slow_shard(
+        shard_id: int, start: float, end: float, multiplier: float
+    ) -> "ClusterFaultPlan":
+        return ClusterFaultPlan(
+            {shard_id: FaultSchedule.slowdown(start, end, multiplier)}
+        )
+
+    @staticmethod
+    def generate(
+        seed: int,
+        n_shards: int,
+        duration: float,
+        slowdown_rate: float = 0.0,
+        crash_rate: float = 0.0,
+        slowdown_duration: float = 1.0,
+        crash_duration: float = 0.5,
+        multiplier_range: Sequence[float] = (2.0, 6.0),
+    ) -> "ClusterFaultPlan":
+        """Draw a random plan: per shard, Poisson fault arrivals.
+
+        ``slowdown_rate`` / ``crash_rate`` are mean faults per shard per
+        second of simulated time; windows that would overlap an earlier
+        one on the same shard are skipped (keeping schedules valid while
+        staying a pure function of the seed).
+        """
+        if n_shards < 1 or duration <= 0:
+            raise FaultInjectionError("need n_shards >= 1 and duration > 0")
+        if slowdown_rate < 0 or crash_rate < 0:
+            raise FaultInjectionError("fault rates must be >= 0")
+        lo, hi = float(multiplier_range[0]), float(multiplier_range[1])
+        if not 0 < lo <= hi:
+            raise FaultInjectionError("need 0 < multiplier lo <= hi")
+        rng = make_rng(seed)
+        schedules: Dict[int, FaultSchedule] = {}
+        for shard_id in range(n_shards):
+            windows: List[FaultWindow] = []
+            for rate, width, crash in (
+                (slowdown_rate, slowdown_duration, False),
+                (crash_rate, crash_duration, True),
+            ):
+                if rate <= 0:
+                    continue
+                n_faults = int(rng.poisson(rate * duration))
+                starts = sorted(rng.uniform(0.0, duration, size=n_faults))
+                for start in starts:
+                    end = min(float(start) + width, duration)
+                    if end <= start:
+                        continue
+                    if any(w.start < end and start < w.end for w in windows):
+                        continue
+                    multiplier = CRASH if crash else float(rng.uniform(lo, hi))
+                    windows.append(FaultWindow(float(start), end, multiplier))
+            if windows:
+                schedules[shard_id] = FaultSchedule(windows)
+        return ClusterFaultPlan(schedules)
+
+    def __repr__(self) -> str:
+        return f"ClusterFaultPlan(shards={sorted(self.schedules)})"

@@ -60,6 +60,13 @@ class MetricsCollector:
         self.n_arrivals = 0
         self.n_completions = 0
         self.n_completed_in_window = 0
+        # Robustness accounting: queries dropped without completing,
+        # keyed by why (admission cap, deadline at dispatch, crashed
+        # server). Window counts use the query's arrival time, matching
+        # how latency records are warmup-filtered.
+        self.shed_by_reason: Dict[str, int] = {}
+        self.n_shed = 0
+        self.n_shed_in_window = 0
 
     # ----------------------------------------------------------------
     # Recording (called by the server model)
@@ -81,6 +88,13 @@ class MetricsCollector:
             self.records.append(record)
         if self.warmup <= record.completion <= self.horizon:
             self.n_completed_in_window += 1
+
+    def on_shed(self, arrival: float, reason: str) -> None:
+        """Record a query dropped without service (load shedding)."""
+        self.n_shed += 1
+        self.shed_by_reason[reason] = self.shed_by_reason.get(reason, 0) + 1
+        if arrival >= self.warmup:
+            self.n_shed_in_window += 1
 
     def on_core_usage(self, start: float, end: float, cores: int) -> None:
         """Account ``cores`` busy during [start, end], clipped to window."""
@@ -127,6 +141,40 @@ class MetricsCollector:
     def utilization(self) -> float:
         """Mean fraction of cores busy inside the window."""
         return self.busy_core_seconds / (self.n_cores * self.window)
+
+    def shed_rate(self) -> float:
+        """Fraction of in-window demand (observed + shed) dropped."""
+        demand = self.n_observed + self.n_shed_in_window
+        if demand == 0:
+            return 0.0
+        return self.n_shed_in_window / demand
+
+    def slo_attainment(self, deadline: float) -> float:
+        """Fraction of in-window *demand* answered within ``deadline``.
+
+        Shed queries count against attainment: a dropped query is an
+        SLO miss from the client's point of view.
+        """
+        demand = self.n_observed + self.n_shed_in_window
+        if demand == 0:
+            return float("nan")
+        lat = self.latencies()
+        return float(np.count_nonzero(lat <= deadline)) / demand
+
+    def goodput(self, deadline: float) -> float:
+        """In-SLO completions per second inside the window.
+
+        Unlike :meth:`throughput`, late completions do not count: under
+        overload a system can stay busy finishing queries nobody is
+        still waiting for, and goodput is the metric that exposes it.
+        """
+        in_slo = sum(
+            1
+            for r in self.records
+            if self.warmup <= r.completion <= self.horizon
+            and r.latency <= deadline
+        )
+        return in_slo / self.window
 
     def degree_histogram(self) -> Dict[int, float]:
         """Fraction of observed queries granted each degree."""

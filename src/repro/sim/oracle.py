@@ -65,6 +65,14 @@ class ServiceOracle:
     def sequential_latency(self, query_index: int) -> float:
         return float(self._t1[query_index])
 
+    def expected_sequential_latency(self, query_index: int) -> float:
+        """Best *pre-execution* estimate of t1: the predictor's value
+        when the table carries predictions, else the true latency (the
+        fallback keeps unpredicted tables usable in tests/tools)."""
+        if self.predicted is not None:
+            return float(self.predicted[query_index])
+        return float(self._t1[query_index])
+
     def plan_chunk_limit(self, query_index: int) -> int:
         """Useful-parallelism bound: the query's sequential chunk count.
 

@@ -16,6 +16,25 @@ Dispatch model (mirrors the paper's system):
 Incremental ("few-to-many") policies yield two-phase jobs: a sequential
 probe, then — if the query outlives the probe — an escalation to the
 load-chosen degree using whatever cores are free at that moment.
+
+Robustness (all opt-in; defaults reproduce the fault-free model
+exactly):
+
+* ``deadline`` — per-query SLO budget. A query is *shed at dispatch*
+  when its remaining budget cannot cover its expected sequential
+  service time (in particular, whenever the queue wait alone has
+  consumed the budget): serving it would burn cores on an answer that
+  will arrive too late anyway. The estimate is the predictor's when
+  the oracle carries predictions, the true t1 otherwise.
+* ``max_queue_length`` — admission cap: arrivals finding the dispatch
+  queue at the cap are rejected immediately (classic load shedding).
+* ``faults`` — a :class:`~repro.sim.faults.FaultSchedule`. Slowdown
+  windows multiply service times at dispatch; queries dispatched inside
+  a crash window are shed (the machine is down).
+
+Shed queries never produce a :class:`QueryRecord`; they are counted by
+the metrics collector and reported through ``on_query_shed`` so a
+cluster aggregator can stop waiting for them.
 """
 
 from __future__ import annotations
@@ -26,9 +45,10 @@ from typing import Deque, Optional
 from repro.errors import SimulationError
 from repro.policies.base import ParallelismPolicy, SystemState
 from repro.sim.engine import Simulator
+from repro.sim.faults import FaultSchedule
 from repro.sim.metrics import MetricsCollector, QueryRecord
 from repro.sim.oracle import ServiceOracle
-from repro.util.validation import require_int_in_range
+from repro.util.validation import require_int_in_range, require_positive
 
 
 class _Job:
@@ -69,8 +89,16 @@ class IndexServerModel:
         metrics: MetricsCollector,
         on_query_complete=None,
         clamp_to_plan: bool = False,
+        deadline: Optional[float] = None,
+        max_queue_length: Optional[int] = None,
+        faults: Optional[FaultSchedule] = None,
+        on_query_shed=None,
     ) -> None:
         require_int_in_range(n_cores, "n_cores", low=1)
+        if deadline is not None:
+            require_positive(deadline, "deadline")
+        if max_queue_length is not None:
+            require_int_in_range(max_queue_length, "max_queue_length", low=1)
         self.simulator = simulator
         self.oracle = oracle
         self.policy = policy
@@ -83,9 +111,19 @@ class IndexServerModel:
         # Optional hook fired with each QueryRecord and the submit tag;
         # the cluster aggregator uses it to join shard responses.
         self.on_query_complete = on_query_complete
+        # Robustness knobs (None = fault-free behavior, bit-identical to
+        # the original model).
+        self.deadline = deadline
+        self.max_queue_length = max_queue_length
+        self.faults = faults if faults is not None and faults.has_faults else None
+        # Optional hook fired as (query_index, tag, reason, now) when a
+        # query is dropped; the cluster aggregator uses it to release
+        # join state instead of waiting for a response that never comes.
+        self.on_query_shed = on_query_shed
         self._queue: Deque[_Job] = deque()
         self.free_cores = n_cores
         self.n_running = 0
+        self.n_shed = 0
 
     # ----------------------------------------------------------------
     # External interface
@@ -95,6 +133,12 @@ class IndexServerModel:
         """A query arrives now. ``tag`` is opaque correlation state passed
         to ``on_query_complete`` (used by the cluster aggregator)."""
         self.metrics.on_arrival()
+        if (
+            self.max_queue_length is not None
+            and len(self._queue) >= self.max_queue_length
+        ):
+            self._shed(query_index, tag, self.simulator.now, "admission")
+            return
         self._queue.append(_Job(query_index, self.simulator.now, tag))
         self._dispatch()
 
@@ -106,15 +150,45 @@ class IndexServerModel:
     # Dispatch
     # ----------------------------------------------------------------
 
+    def _shed(self, query_index: int, tag, arrival: float, reason: str) -> None:
+        """Drop a query without serving it."""
+        self.n_shed += 1
+        self.metrics.on_shed(arrival, reason)
+        if self.on_query_shed is not None:
+            self.on_query_shed(query_index, tag, reason, self.simulator.now)
+
     def _dispatch(self) -> None:
+        shed_this_cycle = False
         while self._queue and self.free_cores >= 1:
             job = self._queue.popleft()
+            now = self.simulator.now
+            # A query is not worth serving once its remaining budget
+            # cannot cover its expected service time (a negative
+            # prediction degrades to wait-only shedding).
+            if self.deadline is not None:
+                wait = now - job.arrival
+                expected = self.oracle.expected_sequential_latency(job.query_index)
+                if wait >= self.deadline or wait + max(0.0, expected) > self.deadline:
+                    self._shed(job.query_index, job.tag, job.arrival, "deadline")
+                    shed_this_cycle = True
+                    continue
+            # A crashed server answers nothing until it recovers.
+            if self.faults is not None and self.faults.crashed_at(now):
+                self._shed(job.query_index, job.tag, job.arrival, "fault")
+                shed_this_cycle = True
+                continue
             state = SystemState(
-                now=self.simulator.now,
+                now=now,
                 n_queued=len(self._queue),
                 n_running=self.n_running,
                 free_cores=self.free_cores,
                 n_cores=self.n_cores,
+                n_shed=self.n_shed,
+                overloaded=shed_this_cycle
+                or (
+                    self.max_queue_length is not None
+                    and len(self._queue) >= self.max_queue_length
+                ),
             )
             info = self.oracle.info(job.query_index)
             requested = self.policy.choose_degree(state, info)
@@ -125,6 +199,9 @@ class IndexServerModel:
             job.start = self.simulator.now
             self.n_running += 1
 
+            slowdown = (
+                self.faults.multiplier_at(now) if self.faults is not None else 1.0
+            )
             probe = getattr(self.policy, "probe_time", None)
             t1 = self.oracle.sequential_latency(job.query_index)
             if probe is not None:
@@ -135,12 +212,12 @@ class IndexServerModel:
                 if granted > 1 and t1 > probe:
                     job.probe_time = float(probe)
                     job.escalation_degree = granted
-                    self._start_phase(job, degree=1, duration=float(probe))
+                    self._start_phase(job, degree=1, duration=float(probe) * slowdown)
                 else:
-                    self._start_phase(job, degree=1, duration=t1)
+                    self._start_phase(job, degree=1, duration=t1 * slowdown)
             else:
                 duration = self.oracle.latency(job.query_index, granted)
-                self._start_phase(job, degree=granted, duration=duration)
+                self._start_phase(job, degree=granted, duration=duration * slowdown)
 
     def _start_phase(self, job: _Job, degree: int, duration: float) -> None:
         if degree > self.free_cores:
@@ -182,6 +259,8 @@ class IndexServerModel:
             # Approximation (documented in DESIGN.md): the remaining work
             # parallelizes like the whole query does at this degree.
             duration = self.oracle.latency(job.query_index, actual) * remaining_fraction
+        if self.faults is not None:
+            duration *= self.faults.multiplier_at(self.simulator.now)
         self._start_phase(job, degree=actual, duration=duration)
 
     def _complete(self, job: _Job) -> None:

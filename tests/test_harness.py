@@ -21,8 +21,8 @@ def ctx():
 
 
 class TestRegistry:
-    def test_all_eleven_registered(self):
-        assert sorted(EXPERIMENTS) == [f"e{i:02d}" for i in range(1, 19)]
+    def test_all_experiments_registered(self):
+        assert sorted(EXPERIMENTS) == [f"e{i:02d}" for i in range(1, 20)]
 
     def test_titles_present(self):
         assert all(TITLES[eid] for eid in EXPERIMENTS)

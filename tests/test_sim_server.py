@@ -30,13 +30,15 @@ def _constant_table(n_queries=10, t1=1.0, degrees=(1, 2, 4), speedup=None):
     return QueryCostTable(queries, degrees, latency, cpu, chunks)
 
 
-def _run_trace(policy, arrival_times, n_cores=4, table=None, horizon=100.0):
+def _run_trace(policy, arrival_times, n_cores=4, table=None, horizon=100.0,
+               **server_kwargs):
     """Drive explicit arrivals through a server; return (metrics, server)."""
     table = table if table is not None else _constant_table()
     oracle = ServiceOracle(table)
     sim = Simulator()
     metrics = MetricsCollector(warmup=0.0, horizon=horizon, n_cores=n_cores)
-    server = IndexServerModel(sim, oracle, policy, n_cores, metrics)
+    server = IndexServerModel(sim, oracle, policy, n_cores, metrics,
+                              **server_kwargs)
     for i, t in enumerate(arrival_times):
         sim.schedule_at(t, lambda i=i: server.submit(i % oracle.n_queries))
     sim.run()
@@ -152,6 +154,39 @@ class TestIncrementalJobs:
         record = metrics.records[0]
         assert record.degree == 1
         assert record.latency == pytest.approx(1.0)
+
+    def test_planned_escalation_finds_zero_free_cores(self):
+        # Two queries on 2 cores: A dispatches with 2 free cores and plans
+        # an escalation to 2; B takes the other core for its full t1. When
+        # A's probe ends, zero cores are free beyond its own, so the
+        # escalation continues sequentially (`actual == 1`) — the query
+        # must not stall, and total work is conserved: probe + remaining
+        # 0.75 of t1 sequentially = exactly t1.
+        policy = IncrementalPolicy(self.TABLE, probe_time=0.25)
+        metrics, server = _run_trace(policy, [0.0, 0.0], n_cores=2)
+        assert len(metrics.records) == 2
+        for record in metrics.records:
+            assert record.degree == 1
+            assert record.latency == pytest.approx(1.0)
+        assert server.free_cores == 2
+        assert server.n_running == 0
+
+    def test_starved_escalation_recomputes_at_probe_end(self):
+        # Same setup, with a slowdown window opening exactly at the probe
+        # boundary. B (dispatched healthy at t=0) is untouched; A's
+        # sequential continuation is priced at escalation time and pays
+        # the 2x multiplier: 0.25 probe + 0.75 * 2 = 1.75. This pins the
+        # `actual == 1` branch to the escalation-time recompute rather
+        # than the dispatch-time plan.
+        from repro.sim.faults import FaultSchedule
+
+        policy = IncrementalPolicy(self.TABLE, probe_time=0.25)
+        metrics, _ = _run_trace(
+            policy, [0.0, 0.0], n_cores=2,
+            faults=FaultSchedule.slowdown(0.25, 10.0, 2.0),
+        )
+        completions = sorted(r.completion for r in metrics.records)
+        assert completions == pytest.approx([1.0, 1.75])
 
 
 class TestMetricsCollector:
