@@ -1,12 +1,25 @@
 # Convenience targets for the repro repository.
 
-.PHONY: install test bench experiments experiments-small report csv clean
+.PHONY: install test lint reprolint bench experiments experiments-small report csv clean
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/
+
+# Static analysis: reprolint (always available — stdlib only), plus
+# ruff and mypy when installed (CI installs both; local dev may not).
+lint: reprolint
+	@if python -c "import ruff" >/dev/null 2>&1; then \
+		python -m ruff check src tests tools; \
+	else echo "ruff not installed; skipping (pip install ruff)"; fi
+	@if python -c "import mypy" >/dev/null 2>&1; then \
+		python -m mypy; \
+	else echo "mypy not installed; skipping (pip install mypy)"; fi
+
+reprolint:
+	python -m tools.reprolint src tests
 
 bench:
 	pytest benchmarks/ --benchmark-only

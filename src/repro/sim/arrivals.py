@@ -14,7 +14,7 @@ returning the time to the next arrival. Provided models:
 from __future__ import annotations
 
 import abc
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -151,7 +151,12 @@ class NHPPArrivals(ArrivalProcess):
     Used for diurnal load patterns.
     """
 
-    def __init__(self, rate_fn, max_rate: float, rng: np.random.Generator) -> None:
+    def __init__(
+        self,
+        rate_fn: Callable[[float], float],
+        max_rate: float,
+        rng: np.random.Generator,
+    ) -> None:
         require_positive(max_rate, "max_rate")
         self.rate_fn = rate_fn
         self.max_rate = float(max_rate)

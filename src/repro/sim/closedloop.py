@@ -13,15 +13,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.policies.base import ParallelismPolicy
 from repro.sim.engine import Simulator
 from repro.sim.experiment import LoadPointConfig, LoadPointSummary, _summarize
 from repro.sim.metrics import MetricsCollector, QueryRecord
 from repro.sim.oracle import ServiceOracle
 from repro.sim.server import IndexServerModel
-from repro.util.rng import make_rng
+from repro.util.rng import RngFactory
 from repro.util.validation import require, require_in_range, require_int_in_range, require_positive
 
 
@@ -54,9 +52,10 @@ def run_closed_loop_point(
     Clients stop issuing new queries at the horizon; in-flight queries
     drain so tail statistics are not censored.
     """
-    rng = make_rng(config.seed)
-    think_rng = np.random.default_rng(rng.integers(2**63))
-    sample_rng = np.random.default_rng(rng.integers(2**63))
+    # Position-independent child streams (see util/rng.py docstring).
+    streams = RngFactory(config.seed)
+    think_rng = streams.stream("think")
+    sample_rng = streams.stream("sample")
 
     simulator = Simulator()
     metrics = MetricsCollector(config.warmup, config.duration, config.n_cores)

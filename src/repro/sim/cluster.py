@@ -36,7 +36,7 @@ from __future__ import annotations
 import math
 import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -47,7 +47,7 @@ from repro.sim.faults import ClusterFaultPlan
 from repro.sim.metrics import MetricsCollector, QueryRecord
 from repro.sim.oracle import ServiceOracle
 from repro.sim.server import IndexServerModel
-from repro.util.rng import make_rng
+from repro.util.rng import RngFactory
 from repro.util.validation import require, require_int_in_range, require_positive
 
 
@@ -173,7 +173,7 @@ class ClusterSummary:
 
 def run_cluster_point(
     oracle: ServiceOracle,
-    policy_factory,
+    policy_factory: Callable[[], ParallelismPolicy],
     config: ClusterConfig,
     arrivals: Optional[ArrivalProcess] = None,
     faults: Optional[ClusterFaultPlan] = None,
@@ -186,9 +186,13 @@ def run_cluster_point(
     servers used for hedging are deliberately fault-free — replicas are
     different machines, which is what hedging exploits).
     """
-    rng = make_rng(config.seed)
-    arrival_rng = np.random.default_rng(rng.integers(2**63))
-    sample_rng = np.random.default_rng(rng.integers(2**63))
+    # Named streams derived by hashing, not by drawing from a parent
+    # generator: child streams must not depend on the parent's
+    # consumption position (see util/rng.py). One-time stream change vs
+    # the pre-reprolint derivation, documented in CHANGES.md.
+    streams = RngFactory(config.seed)
+    arrival_rng = streams.stream("arrivals")
+    sample_rng = streams.stream("sample")
     if arrivals is None:
         arrivals = PoissonArrivals(config.rate, arrival_rng)
 

@@ -9,17 +9,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.policies.base import ParallelismPolicy
 from repro.sim.arrivals import ArrivalProcess, PoissonArrivals
 from repro.sim.engine import Simulator
-from repro.sim.metrics import MetricsCollector
+from repro.sim.metrics import MetricsCollector, QueryRecord
 from repro.sim.oracle import ServiceOracle
 from repro.sim.server import IndexServerModel
-from repro.util.rng import make_rng
+from repro.util.rng import RngFactory
 from repro.util.validation import require, require_int_in_range, require_positive
 
 
@@ -99,9 +99,10 @@ def run_load_point(
     arrivals: Optional[ArrivalProcess] = None,
 ) -> LoadPointSummary:
     """Simulate one load point and summarize it."""
-    rng = make_rng(config.seed)
-    arrival_rng = np.random.default_rng(rng.integers(2**63))
-    sample_rng = np.random.default_rng(rng.integers(2**63))
+    # Position-independent child streams (see util/rng.py docstring).
+    streams = RngFactory(config.seed)
+    arrival_rng = streams.stream("arrivals")
+    sample_rng = streams.stream("sample")
     if arrivals is None:
         arrivals = PoissonArrivals(config.rate, arrival_rng)
 
@@ -176,11 +177,11 @@ def _summarize(metrics, policy, config, offered, queue_delays):
 def run_trace_point(
     oracle: ServiceOracle,
     policy: ParallelismPolicy,
-    arrival_times,
-    query_indices=None,
+    arrival_times: Union[Sequence[float], np.ndarray],
+    query_indices: Optional[Union[Sequence[int], np.ndarray]] = None,
     n_cores: int = 12,
     warmup: float = 0.0,
-):
+) -> Tuple[LoadPointSummary, List[QueryRecord]]:
     """Replay an explicit trace: ``query_indices[i]`` (a row of the cost
     table) arrives at ``arrival_times[i]``.
 

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import SimulationError
 
@@ -115,13 +116,13 @@ class MetricsCollector:
     def n_observed(self) -> int:
         return len(self.records)
 
-    def latencies(self) -> np.ndarray:
+    def latencies(self) -> npt.NDArray[np.float64]:
         return np.asarray([r.latency for r in self.records], dtype=np.float64)
 
-    def queue_delays(self) -> np.ndarray:
+    def queue_delays(self) -> npt.NDArray[np.float64]:
         return np.asarray([r.queue_delay for r in self.records], dtype=np.float64)
 
-    def degrees(self) -> np.ndarray:
+    def degrees(self) -> npt.NDArray[np.int64]:
         return np.asarray([r.degree for r in self.records], dtype=np.int64)
 
     def latency_percentile(self, q: float) -> float:

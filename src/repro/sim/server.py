@@ -40,7 +40,7 @@ cluster aggregator can stop waiting for them.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Any, Callable, Deque, Optional
 
 from repro.errors import SimulationError
 from repro.policies.base import ParallelismPolicy, SystemState
@@ -49,6 +49,11 @@ from repro.sim.faults import FaultSchedule
 from repro.sim.metrics import MetricsCollector, QueryRecord
 from repro.sim.oracle import ServiceOracle
 from repro.util.validation import require_int_in_range, require_positive
+
+#: Fired with each completed query's record and its submit tag.
+CompletionHook = Callable[[QueryRecord, Any], None]
+#: Fired as (query_index, tag, reason, now) when a query is dropped.
+ShedHook = Callable[[int, Any, str, float], None]
 
 
 class _Job:
@@ -65,7 +70,7 @@ class _Job:
         "tag",
     )
 
-    def __init__(self, query_index: int, arrival: float, tag=None) -> None:
+    def __init__(self, query_index: int, arrival: float, tag: Any = None) -> None:
         self.query_index = query_index
         self.arrival = arrival
         self.tag = tag
@@ -87,12 +92,12 @@ class IndexServerModel:
         policy: ParallelismPolicy,
         n_cores: int,
         metrics: MetricsCollector,
-        on_query_complete=None,
+        on_query_complete: Optional[CompletionHook] = None,
         clamp_to_plan: bool = False,
         deadline: Optional[float] = None,
         max_queue_length: Optional[int] = None,
         faults: Optional[FaultSchedule] = None,
-        on_query_shed=None,
+        on_query_shed: Optional[ShedHook] = None,
     ) -> None:
         require_int_in_range(n_cores, "n_cores", low=1)
         if deadline is not None:
@@ -129,7 +134,7 @@ class IndexServerModel:
     # External interface
     # ----------------------------------------------------------------
 
-    def submit(self, query_index: int, tag=None) -> None:
+    def submit(self, query_index: int, tag: Any = None) -> None:
         """A query arrives now. ``tag`` is opaque correlation state passed
         to ``on_query_complete`` (used by the cluster aggregator)."""
         self.metrics.on_arrival()
@@ -150,7 +155,7 @@ class IndexServerModel:
     # Dispatch
     # ----------------------------------------------------------------
 
-    def _shed(self, query_index: int, tag, arrival: float, reason: str) -> None:
+    def _shed(self, query_index: int, tag: Any, arrival: float, reason: str) -> None:
         """Drop a query without serving it."""
         self.n_shed += 1
         self.metrics.on_shed(arrival, reason)

@@ -11,7 +11,7 @@ component's stream — a requirement for comparable A/B policy runs.
 from __future__ import annotations
 
 import hashlib
-from typing import Optional, Union
+from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
 
@@ -39,14 +39,22 @@ def derive_seed(root: int, *labels: Union[str, int]) -> int:
     return int.from_bytes(hasher.digest()[:8], "big")
 
 
-def make_rng(seed: SeedLike = None) -> np.random.Generator:
-    """Create a ``numpy.random.Generator`` from an int, string, or None.
+def make_rng(seed: SeedLike) -> np.random.Generator:
+    """Create a ``numpy.random.Generator`` from an int or string seed.
 
-    Strings are hashed (stable across processes, unlike ``hash()``);
-    ``None`` produces a nondeterministic generator.
+    Strings are hashed (stable across processes, unlike ``hash()``).
+    ``None`` is rejected loudly: an OS-entropy generator would make the
+    experiment silently nondeterministic, defeating replayability — the
+    invariant every A/B comparison in this repository rests on. Derive
+    per-component seeds with :func:`derive_seed` / :class:`RngFactory`
+    instead of omitting them.
     """
     if seed is None:
-        return np.random.default_rng()
+        raise ConfigurationError(
+            "make_rng requires an explicit seed (int or str); an unseeded "
+            "generator would make the run nondeterministic. Derive "
+            "per-component seeds with derive_seed()/RngFactory."
+        )
     if isinstance(seed, str):
         seed = derive_seed(0, seed)
     if not isinstance(seed, (int, np.integer)):
@@ -97,10 +105,16 @@ class RngFactory:
 
 
 def spawn_streams(
-    seed: SeedLike, names: list, factory: Optional[RngFactory] = None
-) -> dict:
+    seed: SeedLike,
+    names: Sequence[str],
+    factory: Optional[RngFactory] = None,
+) -> Dict[str, np.random.Generator]:
     """Convenience: build a ``{name: Generator}`` dict for ``names``."""
     if factory is None:
+        if seed is None:
+            raise ConfigurationError(
+                "spawn_streams requires an explicit seed (or a factory)"
+            )
         base = seed if isinstance(seed, (int, np.integer)) else derive_seed(0, str(seed))
-        factory = RngFactory(int(base) if base is not None else 0)
+        factory = RngFactory(int(base))
     return {name: factory.stream(name) for name in names}

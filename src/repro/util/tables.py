@@ -7,7 +7,7 @@ formatting lives so every experiment prints consistently.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 
@@ -70,7 +70,7 @@ class Table:
     def n_rows(self) -> int:
         return len(self._rows)
 
-    def as_records(self) -> List[dict]:
+    def as_records(self) -> List[Dict[str, str]]:
         """Return rows as a list of ``{column: cell}`` dicts (strings)."""
         return [dict(zip(self.columns, row)) for row in self._rows]
 

@@ -12,6 +12,9 @@ from typing import Any, Optional, Tuple, Type, Union
 
 from repro.errors import ConfigurationError
 
+# Annotations use ``float`` (PEP 484 numeric tower: ints are accepted);
+# runtime checks use ``numbers.Real`` so numpy scalars also pass.
+
 
 def require(condition: bool, message: str) -> None:
     """Raise ``ConfigurationError(message)`` unless ``condition`` holds."""
@@ -20,7 +23,7 @@ def require(condition: bool, message: str) -> None:
 
 
 def require_type(
-    value: Any, types: Union[Type, Tuple[Type, ...]], name: str
+    value: Any, types: Union[Type[Any], Tuple[Type[Any], ...]], name: str
 ) -> Any:
     """Check ``isinstance(value, types)`` and return the value."""
     if not isinstance(value, types):
@@ -35,7 +38,7 @@ def require_type(
     return value
 
 
-def require_positive(value: Real, name: str, strict: bool = True) -> Real:
+def require_positive(value: float, name: str, strict: bool = True) -> float:
     """Check that a number is > 0 (or >= 0 when ``strict=False``)."""
     if not isinstance(value, Real):
         raise ConfigurationError(f"{name} must be a number, got {type(value).__name__}")
@@ -47,13 +50,13 @@ def require_positive(value: Real, name: str, strict: bool = True) -> Real:
 
 
 def require_in_range(
-    value: Real,
+    value: float,
     name: str,
-    low: Optional[Real] = None,
-    high: Optional[Real] = None,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
     low_inclusive: bool = True,
     high_inclusive: bool = True,
-) -> Real:
+) -> float:
     """Check that ``low <= value <= high`` with configurable open ends."""
     if not isinstance(value, Real):
         raise ConfigurationError(f"{name} must be a number, got {type(value).__name__}")

@@ -1,0 +1,52 @@
+"""R001 fixture: global / unseeded RNG use.
+
+Lines carrying a violation are tagged with expectation markers; the
+test asserts reprolint reports exactly those lines and nothing else.
+This file is lint fixture data — it is never imported or executed.
+"""
+
+import random
+
+import numpy as np
+
+from repro.util.rng import RngFactory, derive_seed, make_rng
+
+
+def bad_global_numpy() -> float:
+    np.random.seed(0)  # EXPECT:R001
+    a = np.random.rand(4)  # EXPECT:R001
+    b = np.random.normal(0.0, 1.0)  # EXPECT:R001
+    return float(a.sum() + b)
+
+
+def bad_unseeded_default_rng() -> float:
+    rng = np.random.default_rng()  # EXPECT:R001
+    other = np.random.default_rng(None)  # EXPECT:R001
+    return float(rng.random() + other.random())
+
+
+def bad_stdlib_random() -> float:
+    random.seed(7)  # EXPECT:R001
+    x = random.random()  # EXPECT:R001
+    y = random.uniform(0.0, 1.0)  # EXPECT:R001
+    return x + y
+
+
+def bad_unseeded_make_rng() -> float:
+    rng = make_rng(None)  # EXPECT:R001
+    return float(rng.random())
+
+
+def good_seeded_streams(seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    named = RngFactory(seed).stream("arrivals")
+    derived = np.random.default_rng(derive_seed(seed, "service"))
+    keyword = np.random.default_rng(seed=seed)
+    return float(
+        rng.random() + named.random() + derived.random() + keyword.random()
+    )
+
+
+def suppressed_with_justification() -> float:
+    probe = np.random.default_rng()  # reprolint: disable=R001 -- fixture demo
+    return float(probe.random())

@@ -1,0 +1,36 @@
+"""R002 fixture: child RNGs derived by drawing from a parent generator.
+
+Tagged lines are expected findings; untagged RNG code is the approved
+pattern. Never imported or executed.
+"""
+
+import numpy as np
+
+from repro.util.rng import RngFactory, derive_seed, make_rng
+
+
+def bad_position_coupled_children(seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    arrival_rng = np.random.default_rng(rng.integers(2**63))  # EXPECT:R002
+    sample_rng = np.random.default_rng(int(rng.integers(2**63)))  # EXPECT:R002
+    legacy = make_rng(rng.integers(0, 2**31))  # EXPECT:R002
+    return float(arrival_rng.random() + sample_rng.random() + legacy.random())
+
+
+def good_hash_derived_children(seed: int) -> float:
+    streams = RngFactory(seed)
+    arrival_rng = streams.stream("arrivals")
+    sample_rng = np.random.default_rng(derive_seed(seed, "sample"))
+    return float(arrival_rng.random() + sample_rng.random())
+
+
+def good_plain_draws(seed: int) -> int:
+    # Drawing integers for *data* (not for seeding) is fine.
+    rng = RngFactory(seed).stream("indices")
+    return int(rng.integers(100))
+
+
+def suppressed(seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    child = np.random.default_rng(rng.integers(2**63))  # reprolint: disable=R002 -- fixture demo
+    return float(child.random())

@@ -1,0 +1,25 @@
+"""R003 fixture: wall-clock reads in simulated-time code.
+
+The test copies this file under a ``sim/`` directory (where the rule
+applies) and under a ``harness/`` directory (exempt). Never executed.
+"""
+
+import time
+from datetime import datetime
+
+
+def bad_wall_clock_reads() -> float:
+    started = time.time()  # EXPECT:R003
+    tick = time.perf_counter()  # EXPECT:R003
+    mono = time.monotonic()  # EXPECT:R003
+    stamp = datetime.now()  # EXPECT:R003
+    return started + tick + mono + stamp.timestamp()
+
+
+def good_simulated_time(now: float) -> float:
+    # Simulation code receives time as a parameter (simulator.now).
+    return now + 1.0
+
+
+def suppressed_timing() -> float:
+    return time.time()  # reprolint: disable=R003 -- fixture demo

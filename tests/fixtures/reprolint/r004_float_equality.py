@@ -1,0 +1,27 @@
+"""R004 fixture: float equality on latency/time-valued names.
+
+Never imported or executed.
+"""
+
+import math
+
+
+def bad_exact_comparisons(p99_latency: float, deadline: float, now: float) -> bool:
+    a = p99_latency == deadline  # EXPECT:R004
+    b = now != 0.0  # EXPECT:R004
+    c = 1.5 == p99_latency  # EXPECT:R004
+    return a or b or c
+
+
+def good_tolerant_comparisons(p99_latency: float, deadline: float) -> bool:
+    close = math.isclose(p99_latency, deadline, rel_tol=1e-9)
+    ordered = p99_latency <= deadline
+    non_time = "adaptive" == "fixed"  # not a time-like name
+    count = 3
+    exact_int = count == 3  # ints compare exactly; not time-like
+    none_check = deadline == None  # noqa: E711 - identity-style, exempt
+    return close or ordered or non_time or exact_int or none_check
+
+
+def suppressed(mean_latency: float) -> bool:
+    return mean_latency == 0.0  # reprolint: disable=R004 -- fixture demo

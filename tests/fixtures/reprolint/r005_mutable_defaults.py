@@ -1,0 +1,34 @@
+"""R005 fixture: mutable default arguments. Never imported or executed."""
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def bad_list_default(history=[]) -> list:  # EXPECT:R005
+    history.append(1)
+    return history
+
+
+def bad_dict_default(cache={}) -> dict:  # EXPECT:R005
+    return cache
+
+
+def bad_call_defaults(a=list(), b=dict(), c=deque()) -> tuple:  # EXPECT:R005 EXPECT:R005 EXPECT:R005
+    return a, b, c
+
+
+def bad_kwonly_default(*, seen=set()) -> set:  # EXPECT:R005
+    return seen
+
+
+def good_defaults(
+    items: Optional[List[int]] = None,
+    table: Optional[Dict[str, int]] = None,
+    frozen: Sequence[int] = (),
+    label: str = "x",
+) -> Tuple[list, dict]:
+    return list(items or []), dict(table or {})
+
+
+def suppressed(memo={}) -> dict:  # reprolint: disable=R005 -- fixture demo
+    return memo

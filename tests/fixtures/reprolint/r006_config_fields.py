@@ -1,0 +1,31 @@
+"""R006 fixture: unconsumed ``*Config`` dataclass fields.
+
+Consumption is project-wide attribute-read analysis; this file carries
+both the configs and their consumers. Never imported or executed.
+"""
+
+from dataclasses import dataclass
+from typing import ClassVar, Optional
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    rate: float = 100.0
+    duration: float = 10.0
+    dead_knob: Optional[int] = None  # EXPECT:R006
+    whitelisted: int = 3  # reprolint: disable=R006 -- consumed reflectively
+    kind: ClassVar[str] = "sweep"  # ClassVar: not a field, never flagged
+
+
+@dataclass
+class UnusedEverythingConfig:
+    orphan: float = 0.0  # EXPECT:R006
+
+
+class NotAConfig:
+    # Not a dataclass: plain annotations here are not checked.
+    ignored: int = 0
+
+
+def consume(config: SweepConfig) -> float:
+    return config.rate * config.duration

@@ -1,0 +1,43 @@
+"""R007 fixture: bare/blanket exception swallowing in sim hot paths.
+
+The test copies this under ``sim/`` (rule active). Never executed.
+"""
+
+
+class SimulationError(Exception):
+    pass
+
+
+def risky() -> None:
+    raise SimulationError("boom")
+
+
+def bad_bare_except() -> None:
+    try:
+        risky()
+    except:  # EXPECT:R007
+        pass
+
+
+def bad_swallowed_exception() -> None:
+    try:
+        risky()
+    except Exception:  # EXPECT:R007
+        pass
+
+
+def good_specific_handling() -> int:
+    try:
+        risky()
+    except SimulationError:
+        return 1
+    except Exception as exc:  # re-raised, not swallowed
+        raise RuntimeError("unexpected") from exc
+    return 0
+
+
+def suppressed() -> None:
+    try:
+        risky()
+    except Exception:  # reprolint: disable=R007 -- fixture demo
+        pass

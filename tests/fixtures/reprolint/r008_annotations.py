@@ -1,0 +1,66 @@
+"""R008 fixture: public sim/policies/core functions must be annotated.
+
+The test copies this under ``sim/`` (rule active) and ``engine/``
+(outside R008 scope). Never executed.
+"""
+
+from typing import Iterator, Optional
+
+
+def bad_unannotated_params(rate, duration=1.0) -> float:  # EXPECT:R008
+    return rate * duration
+
+
+def bad_missing_return(rate: float):  # EXPECT:R008
+    return rate
+
+
+def bad_varargs(*values, **options) -> None:  # EXPECT:R008
+    del values, options
+
+
+def good_fully_annotated(rate: float, label: Optional[str] = None) -> float:
+    del label
+    return rate
+
+
+def _private_helper(rate, duration):  # private: exempt
+    return rate * duration
+
+
+def good_outer() -> int:
+    def nested(x):  # nested closures: exempt
+        return x
+
+    return nested(1)
+
+
+class ServerModel:
+    def __init__(self, n_cores: int) -> None:  # __init__ counts as public
+        self.n_cores = n_cores
+
+    def bad_method(self, degree) -> int:  # EXPECT:R008
+        return min(degree, self.n_cores)
+
+    def good_method(self, degree: int) -> int:
+        return min(degree, self.n_cores)
+
+    def _private_method(self, degree):  # exempt
+        return degree
+
+    @staticmethod
+    def good_static(count: int) -> int:
+        return count
+
+
+class _PrivateClass:
+    def methods_exempt(self, anything):  # enclosing class is private
+        return anything
+
+
+def bad_generator(n) -> "Iterator[int]":  # EXPECT:R008
+    yield n
+
+
+def suppressed(rate, duration):  # reprolint: disable=R008 -- fixture demo
+    return rate * duration

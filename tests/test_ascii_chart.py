@@ -1,6 +1,5 @@
 """Tests for the ASCII chart renderers."""
 
-import math
 
 import pytest
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.planner import DEFAULT_CANDIDATES, plan_deployment
+from repro.core.planner import plan_deployment
 from repro.errors import ConfigurationError
 
 

@@ -1,6 +1,5 @@
 """Tests for the AdaptiveSearchSystem facade, capacity, and calibration."""
 
-import numpy as np
 import pytest
 
 from repro.core.calibration import calibrate_threshold_scale, scale_table

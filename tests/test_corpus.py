@@ -7,7 +7,6 @@ from repro.corpus.documents import Corpus
 from repro.corpus.generator import CorpusConfig, generate_corpus
 from repro.corpus.stats import corpus_stats
 from repro.errors import CorpusError
-from repro.util.rng import make_rng
 
 
 @pytest.fixture(scope="module")

@@ -2,7 +2,6 @@
 -> simulation, asserting the paper's qualitative claims hold on a fresh
 (small) stack built inside the test."""
 
-import numpy as np
 import pytest
 
 from repro.core.controller import AdaptiveSearchSystem, SystemConfig

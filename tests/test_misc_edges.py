@@ -47,7 +47,7 @@ class TestServiceOracleEdges:
         )
         info = ServiceOracle(table).info(0)
         assert info.predicted_sequential_latency is None
-        assert info.true_sequential_latency == 0.5
+        assert info.true_sequential_latency == pytest.approx(0.5)
         assert info.query_id == 7
 
 

@@ -158,7 +158,7 @@ class TestGatedPolicies:
 
     def test_incremental_exposes_probe_time(self):
         policy = IncrementalPolicy(self.TABLE, probe_time=2e-3)
-        assert policy.probe_time == 2e-3
+        assert policy.probe_time == pytest.approx(2e-3)
         assert policy.choose_degree(_state(1), QueryInfo()) == 8
 
     def test_incremental_rejects_bad_probe(self):

@@ -7,7 +7,6 @@ from repro.engine.query import Query
 from repro.errors import ProfileError
 from repro.profiles.measurement import (
     MeasurementConfig,
-    QueryCostTable,
     measure_cost_table,
 )
 from repro.profiles.servicetime import ServiceTimeDistribution

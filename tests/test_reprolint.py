@@ -1,0 +1,238 @@
+"""Tests for tools/reprolint: every rule, suppression, reporters, CLI.
+
+Fixture files live in ``tests/fixtures/reprolint`` (excluded from real
+lint runs by the default excludes). Each violating line carries an
+``# EXPECT:RXXX`` marker; tests assert the linter reports *exactly* the
+marked (line, rule) multiset — exact counts and exact line numbers.
+Path-scoped rules are exercised by copying fixtures into ``sim/`` (in
+scope) and ``harness/``/``engine/`` (exempt) directories.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import shutil
+import subprocess
+import sys
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from tools.reprolint import all_rules, lint_paths, lint_source
+from tools.reprolint.cli import main as reprolint_main
+from tools.reprolint.core import Suppressions
+from tools.reprolint.reporter import render_json, render_text
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "reprolint"
+
+_EXPECT = re.compile(r"EXPECT:(R\d{3})")
+
+
+def expected_findings(fixture: Path) -> Counter:
+    """(line, rule) -> count multiset from the EXPECT markers."""
+    expectations: Counter = Counter()
+    for lineno, text in enumerate(fixture.read_text().splitlines(), start=1):
+        for rule_id in _EXPECT.findall(text):
+            expectations[(lineno, rule_id)] += 1
+    return expectations
+
+
+def lint_fixture(tmp_path: Path, fixture_name: str, rule_id: str, subdir: str = "sim"):
+    """Copy a fixture under ``<tmp>/<subdir>/`` and lint it with one rule."""
+    target_dir = tmp_path / subdir
+    target_dir.mkdir(parents=True, exist_ok=True)
+    target = target_dir / fixture_name
+    shutil.copy(FIXTURES / fixture_name, target)
+    return lint_paths([str(target)], select=[rule_id])
+
+
+RULE_FIXTURES = {
+    "R001": "r001_global_rng.py",
+    "R002": "r002_adhoc_derivation.py",
+    "R003": "r003_wall_clock.py",
+    "R004": "r004_float_equality.py",
+    "R005": "r005_mutable_defaults.py",
+    "R006": "r006_config_fields.py",
+    "R007": "r007_swallowed_exceptions.py",
+    "R008": "r008_annotations.py",
+}
+
+
+class TestRuleFixtures:
+    @pytest.mark.parametrize("rule_id", sorted(RULE_FIXTURES))
+    def test_exact_findings_and_lines(self, tmp_path, rule_id):
+        fixture_name = RULE_FIXTURES[rule_id]
+        result = lint_fixture(tmp_path, fixture_name, rule_id)
+        actual = Counter((f.line, f.rule_id) for f in result.findings)
+        expected = expected_findings(FIXTURES / fixture_name)
+        assert expected, f"fixture {fixture_name} has no EXPECT markers"
+        assert actual == expected
+
+    @pytest.mark.parametrize("rule_id", sorted(RULE_FIXTURES))
+    def test_suppression_comment_works(self, tmp_path, rule_id):
+        # Every fixture contains at least one deliberately-suppressed
+        # violation; stripping the suppressions must surface MORE
+        # findings than the annotated run.
+        fixture_name = RULE_FIXTURES[rule_id]
+        source = (FIXTURES / fixture_name).read_text()
+        assert "reprolint: disable=" in source
+        stripped = re.sub(r"# reprolint: disable=\S+.*$", "", source, flags=re.M)
+        path = f"sim/{fixture_name}"
+        with_suppressions = lint_source(source, path, select=[rule_id])
+        without = lint_source(stripped, path, select=[rule_id])
+        assert len(without) > len(with_suppressions)
+
+
+class TestPathScoping:
+    def test_wall_clock_exempt_in_harness(self, tmp_path):
+        result = lint_fixture(
+            tmp_path, "r003_wall_clock.py", "R003", subdir="harness"
+        )
+        assert result.findings == []
+
+    def test_wall_clock_exempt_in_cli(self):
+        source = "import time\n\n\ndef f() -> float:\n    return time.time()\n"
+        assert lint_source(source, "src/repro/cli.py", select=["R003"]) == []
+
+    def test_annotations_not_required_in_engine(self, tmp_path):
+        result = lint_fixture(
+            tmp_path, "r008_annotations.py", "R008", subdir="engine"
+        )
+        assert result.findings == []
+
+    def test_rng_module_itself_exempt_from_r001(self):
+        source = "import numpy as np\n\n\ndef make() -> object:\n    return np.random.default_rng()\n"
+        assert lint_source(source, "src/repro/util/rng.py", select=["R001"]) == []
+        assert lint_source(source, "src/other/mod.py", select=["R001"]) != []
+
+
+class TestSuppressionParsing:
+    def test_line_and_file_directives(self):
+        source = (
+            "# reprolint: disable-file=R006\n"
+            "x = 1  # reprolint: disable=R001, R002 -- justified\n"
+        )
+        sup = Suppressions.from_source(source)
+        assert sup.is_suppressed("R006", 99)
+        assert sup.is_suppressed("r001", 2)
+        assert sup.is_suppressed("R002", 2)
+        assert not sup.is_suppressed("R001", 1)
+        assert not sup.is_suppressed("R003", 2)
+
+    def test_disable_all(self):
+        sup = Suppressions.from_source("y = 2  # reprolint: disable=all\n")
+        assert sup.is_suppressed("R007", 1)
+
+
+class TestRealTreeGate:
+    def test_src_is_clean(self):
+        result = lint_paths([str(REPO_ROOT / "src")])
+        assert result.all_findings == []
+
+    def test_reintroducing_cluster_rng_derivation_fails(self, tmp_path):
+        # Acceptance check: putting the old ad-hoc derivation back into
+        # sim/cluster.py must fail with R002 at the edited line.
+        cluster = (REPO_ROOT / "src/repro/sim/cluster.py").read_text()
+        good = 'arrival_rng = streams.stream("arrivals")'
+        assert good in cluster
+        bad = "arrival_rng = np.random.default_rng(rng.integers(2**63))"
+        mutated = cluster.replace(good, bad)
+        target_dir = tmp_path / "sim"
+        target_dir.mkdir()
+        target = target_dir / "cluster.py"
+        target.write_text(mutated)
+        result = lint_paths([str(target)], select=["R002"])
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        bad_line = 1 + mutated[: mutated.index(bad)].count("\n")
+        assert finding.rule_id == "R002"
+        assert finding.line == bad_line
+
+    def test_wall_clock_in_server_fails(self, tmp_path):
+        server = (REPO_ROOT / "src/repro/sim/server.py").read_text()
+        marker = "        self.metrics.on_arrival()"
+        assert marker in server
+        mutated = server.replace(
+            marker, "        import time\n        _t0 = time.time()\n" + marker
+        )
+        target_dir = tmp_path / "sim"
+        target_dir.mkdir()
+        target = target_dir / "server.py"
+        target.write_text(mutated)
+        result = lint_paths([str(target)], select=["R003"])
+        assert [f.rule_id for f in result.findings] == ["R003"]
+        # time.time() sits on the line directly above the marker.
+        marker_line = 1 + mutated[: mutated.index(marker)].count("\n")
+        assert result.findings[0].line == marker_line - 1
+
+
+class TestReporters:
+    def test_text_format(self, tmp_path):
+        result = lint_fixture(tmp_path, "r005_mutable_defaults.py", "R005")
+        text = render_text(result)
+        assert "R005" in text
+        first = result.findings[0]
+        assert f"{first.path}:{first.line}:{first.col}: R005" in text
+
+    def test_text_clean_summary(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text('"""Nothing to report."""\n')
+        result = lint_paths([str(clean)])
+        assert "clean: 0 findings" in render_text(result)
+
+    def test_json_format(self, tmp_path):
+        result = lint_fixture(tmp_path, "r007_swallowed_exceptions.py", "R007")
+        payload = json.loads(render_json(result))
+        assert payload["counts_by_rule"] == {"R007": 2}
+        assert {f["rule"] for f in payload["findings"]} == {"R007"}
+        assert all(
+            {"path", "line", "col", "rule", "message"} <= set(f)
+            for f in payload["findings"]
+        )
+
+    def test_parse_error_reported(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        result = lint_paths([str(bad)])
+        assert not result.ok
+        assert result.all_findings[0].rule_id == "E999"
+
+
+class TestCli:
+    def test_exit_zero_flag(self, tmp_path, capsys):
+        target_dir = tmp_path / "sim"
+        target_dir.mkdir()
+        shutil.copy(
+            FIXTURES / "r003_wall_clock.py", target_dir / "r003_wall_clock.py"
+        )
+        assert reprolint_main([str(target_dir)]) == 1
+        assert reprolint_main([str(target_dir), "--exit-zero"]) == 0
+        captured = capsys.readouterr()
+        assert "R003" in captured.out
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        assert reprolint_main(["--select", "R999", str(FIXTURES.parent)]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert reprolint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in RULE_FIXTURES:
+            assert rule_id in out
+
+    def test_module_entry_point_on_real_src(self):
+        # The gate the CI job runs: must exit 0 on the current tree.
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.reprolint", "src"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_registry_complete(self):
+        assert sorted(all_rules()) == sorted(RULE_FIXTURES)

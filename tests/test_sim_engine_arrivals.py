@@ -45,7 +45,7 @@ class TestSimulator:
         sim.schedule_at(10.0, lambda: fired.append(2))
         sim.run(until=5.0)
         assert fired == [1]
-        assert sim.now == 5.0
+        assert sim.now == 5.0  # reprolint: disable=R004 -- clock is assigned exactly to `until`, not accumulated
         assert sim.pending_events == 1
 
     def test_events_can_schedule_events(self):

@@ -40,8 +40,15 @@ class TestMakeRng:
     def test_different_string_seeds_differ(self):
         assert make_rng("a").random() != make_rng("b").random()
 
-    def test_none_gives_generator(self):
-        assert isinstance(make_rng(None), np.random.Generator)
+    def test_none_rejected_loudly(self):
+        # An unseeded generator would make an experiment silently
+        # nondeterministic; make_rng must refuse rather than oblige.
+        with pytest.raises(ConfigurationError, match="explicit seed"):
+            make_rng(None)  # reprolint: disable=R001 -- asserting the refusal itself
+
+    def test_spawn_streams_none_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spawn_streams(None, ["arrivals"])
 
     def test_bad_seed_type_rejected(self):
         with pytest.raises(ConfigurationError):

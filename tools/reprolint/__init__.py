@@ -1,0 +1,41 @@
+"""reprolint — AST-based determinism & simulation-correctness linter.
+
+The reproduction's headline claims (adaptive vs fixed tail latency,
+bit-identical fault-free replays) rest on deterministic, seeded
+simulation. ``reprolint`` machine-checks the conventions that make that
+true: no global or unseeded RNGs, child streams derived through
+``repro.util.rng`` (never ``rng.integers(...)``), no wall-clock reads in
+simulated-time code, no float equality on latencies, no mutable default
+arguments, consumed config fields, no swallowed exceptions in sim hot
+paths, and fully annotated public simulation APIs.
+
+Usage::
+
+    python -m tools.reprolint src tests
+    python -m tools.reprolint --format json src
+    python -m tools.reprolint --list-rules
+
+Findings can be suppressed per line with a justification::
+
+    t = time.time()  # reprolint: disable=R003 -- harness-side timing
+
+or per file with ``# reprolint: disable-file=R006`` on any line.
+"""
+
+from tools.reprolint.core import (  # noqa: F401
+    Finding,
+    LintResult,
+    Rule,
+    all_rules,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+]

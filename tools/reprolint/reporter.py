@@ -1,0 +1,45 @@
+"""Finding reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from tools.reprolint.core import LintResult
+
+
+def render_text(result: LintResult, verbose_summary: bool = True) -> str:
+    """One ``path:line:col: RULE message`` line per finding + a summary."""
+    lines: List[str] = [finding.format() for finding in result.all_findings]
+    if verbose_summary:
+        counts = result.counts_by_rule()
+        if counts:
+            breakdown = ", ".join(f"{rule}: {n}" for rule, n in counts.items())
+            lines.append("")
+            lines.append(
+                f"{sum(counts.values())} finding(s) in "
+                f"{len({f.path for f in result.all_findings})} file(s) "
+                f"({result.files_scanned} scanned) [{breakdown}]"
+            )
+        else:
+            lines.append(f"clean: 0 findings in {result.files_scanned} file(s)")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Stable JSON document for CI artifacts / downstream tooling."""
+    payload: Dict[str, object] = {
+        "files_scanned": result.files_scanned,
+        "counts_by_rule": result.counts_by_rule(),
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "rule": finding.rule_id,
+                "message": finding.message,
+            }
+            for finding in result.all_findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
