@@ -1,6 +1,6 @@
 # Convenience targets for the repro repository.
 
-.PHONY: install test lint reprolint bench experiments experiments-small report csv clean
+.PHONY: install test lint reprolint reprolint-sarif bench experiments experiments-small report csv clean
 
 install:
 	pip install -e .
@@ -19,7 +19,11 @@ lint: reprolint
 	else echo "mypy not installed; skipping (pip install mypy)"; fi
 
 reprolint:
-	python -m tools.reprolint src tests
+	python -m tools.reprolint src tests tools --baseline .reprolint-baseline.json
+
+reprolint-sarif:
+	python -m tools.reprolint src tests tools --baseline .reprolint-baseline.json \
+	  --format sarif --output reprolint.sarif --exit-zero
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -43,7 +43,7 @@ def main() -> None:
             arrivals = MMPP2Arrivals.with_mean_rate(
                 mean_rate=mean_rate,
                 burst_ratio=ratio,
-                mean_dwell=0.05,
+                mean_dwell_s=0.05,
                 rng=factory.stream("mmpp", i, policy),
             )
             summary = system.run_point(

@@ -40,7 +40,7 @@ def main() -> None:
     # --- Generate a diurnal trace over a pool of measured queries -----
     mean_rate = system.rate_for_utilization(MEAN_UTILIZATION)
     arrivals = diurnal_arrivals(
-        base_rate=mean_rate, amplitude=AMPLITUDE, period=DAY,
+        base_rate=mean_rate, amplitude=AMPLITUDE, period_s=DAY,
         rng=factory.stream("arrivals"),
         phase=-np.pi / 2,  # start the day at the trough
     )

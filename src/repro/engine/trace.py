@@ -35,7 +35,10 @@ class ChunkTrace:
         outcome = self.plan.score_chunk(position)
         cost = self.cost_model.chunk_time(outcome)
         entry = (outcome, cost)
-        self._cache[position] = entry
+        # Benign race: score_chunk is deterministic in `position`, so two
+        # threads can only store an equal value, and a dict store is a
+        # single GIL-atomic bytecode — no torn state is observable.
+        self._cache[position] = entry  # reprolint: disable=R012 -- idempotent memo write; value is deterministic per position and dict stores are GIL-atomic
         return entry
 
     @property

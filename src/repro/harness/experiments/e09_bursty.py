@@ -49,7 +49,7 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
             arrivals = MMPP2Arrivals.with_mean_rate(
                 mean_rate=mean_rate,
                 burst_ratio=ratio,
-                mean_dwell=0.05,
+                mean_dwell_s=0.05,
                 rng=factory.stream("mmpp", ratio_index, policy_name),
             )
             summary = system.run_point(

@@ -69,44 +69,45 @@ class MMPP2Arrivals(ArrivalProcess):
         self,
         rate_low: float,
         rate_high: float,
-        mean_dwell_low: float,
-        mean_dwell_high: float,
+        mean_dwell_low_s: float,
+        mean_dwell_high_s: float,
         rng: np.random.Generator,
     ) -> None:
         require_positive(rate_low, "rate_low")
         require_positive(rate_high, "rate_high")
-        require_positive(mean_dwell_low, "mean_dwell_low")
-        require_positive(mean_dwell_high, "mean_dwell_high")
+        require_positive(mean_dwell_low_s, "mean_dwell_low_s")
+        require_positive(mean_dwell_high_s, "mean_dwell_high_s")
         require(rate_high >= rate_low, "rate_high must be >= rate_low")
         self.rate_low = float(rate_low)
         self.rate_high = float(rate_high)
-        self.mean_dwell_low = float(mean_dwell_low)
-        self.mean_dwell_high = float(mean_dwell_high)
+        self.mean_dwell_low_s = float(mean_dwell_low_s)
+        self.mean_dwell_high_s = float(mean_dwell_high_s)
         self._rng = rng
         self._in_high = False
-        self._dwell_remaining = float(rng.exponential(mean_dwell_low))
+        self._dwell_remaining_s = float(rng.exponential(mean_dwell_low_s))
 
     @property
     def mean_rate(self) -> float:
         """Long-run average arrival rate."""
-        total = self.mean_dwell_low + self.mean_dwell_high
+        total_s = self.mean_dwell_low_s + self.mean_dwell_high_s
         return (
-            self.rate_low * self.mean_dwell_low
-            + self.rate_high * self.mean_dwell_high
-        ) / total
+            self.rate_low * self.mean_dwell_low_s
+            + self.rate_high * self.mean_dwell_high_s
+        ) / total_s
 
     @staticmethod
     def with_mean_rate(
         mean_rate: float,
         burst_ratio: float,
-        mean_dwell: float,
+        mean_dwell_s: float,
         rng: np.random.Generator,
         high_fraction: float = 0.2,
     ) -> "MMPP2Arrivals":
         """Construct an MMPP2 with a target mean rate.
 
         ``burst_ratio`` is rate_high / rate_low; ``high_fraction`` is the
-        fraction of time spent in the high state.
+        fraction of time spent in the high state; ``mean_dwell_s`` is the
+        mean high-state dwell in seconds.
         """
         require_positive(mean_rate, "mean_rate")
         require(burst_ratio >= 1.0, "burst_ratio must be >= 1")
@@ -117,8 +118,8 @@ class MMPP2Arrivals(ArrivalProcess):
         return MMPP2Arrivals(
             rate_low=rate_low,
             rate_high=rate_high,
-            mean_dwell_low=mean_dwell * (1.0 - high_fraction) / high_fraction,
-            mean_dwell_high=mean_dwell,
+            mean_dwell_low_s=mean_dwell_s * (1.0 - high_fraction) / high_fraction,
+            mean_dwell_high_s=mean_dwell_s,
             rng=rng,
         )
 
@@ -127,18 +128,18 @@ class MMPP2Arrivals(ArrivalProcess):
 
     def _switch(self) -> None:
         self._in_high = not self._in_high
-        mean_dwell = self.mean_dwell_high if self._in_high else self.mean_dwell_low
-        self._dwell_remaining = float(self._rng.exponential(mean_dwell))
+        dwell_s = self.mean_dwell_high_s if self._in_high else self.mean_dwell_low_s
+        self._dwell_remaining_s = float(self._rng.exponential(dwell_s))
 
     def next_interarrival(self) -> float:
         """Sample across state switches until an arrival lands."""
         elapsed = 0.0
         while True:
-            candidate = float(self._rng.exponential(1.0 / self._current_rate()))
-            if candidate <= self._dwell_remaining:
-                self._dwell_remaining -= candidate
-                return elapsed + candidate
-            elapsed += self._dwell_remaining
+            candidate_s = float(self._rng.exponential(1.0 / self._current_rate()))
+            if candidate_s <= self._dwell_remaining_s:
+                self._dwell_remaining_s -= candidate_s
+                return elapsed + candidate_s
+            elapsed += self._dwell_remaining_s
             self._switch()
 
 
@@ -179,22 +180,22 @@ class NHPPArrivals(ArrivalProcess):
 def diurnal_arrivals(
     base_rate: float,
     amplitude: float,
-    period: float,
+    period_s: float,
     rng: np.random.Generator,
     phase: float = 0.0,
 ) -> NHPPArrivals:
     """Sinusoidal 'day/night' load: rate(t) = base * (1 + a·sin(2πt/T + φ)).
 
-    ``amplitude`` in [0, 1); the mean rate over a full period is
-    ``base_rate``.
+    ``amplitude`` in [0, 1); ``period_s`` is the cycle length in seconds;
+    the mean rate over a full period is ``base_rate``.
     """
     require_positive(base_rate, "base_rate")
     require(0.0 <= amplitude < 1.0, "amplitude must be in [0, 1)")
-    require_positive(period, "period")
+    require_positive(period_s, "period_s")
     two_pi = 2.0 * np.pi
 
     def rate_fn(t: float) -> float:
-        return base_rate * (1.0 + amplitude * np.sin(two_pi * t / period + phase))
+        return base_rate * (1.0 + amplitude * np.sin(two_pi * t / period_s + phase))
 
     return NHPPArrivals(rate_fn, base_rate * (1.0 + amplitude), rng)
 

@@ -350,7 +350,7 @@ def run_cluster_point(
         simulator.schedule(gap, arrive)
 
     schedule_next()
-    simulator.run(until=config.duration)
+    simulator.run(until_s=config.duration)
     drain_limit = config.duration * 10.0
     while in_flight and simulator.now < drain_limit and simulator.pending_events:
         simulator.step()
@@ -369,7 +369,7 @@ def run_cluster_point(
     cluster_p99 = float(np.percentile(cluster, 99)) if cluster.size else float("nan")
     shard_p99 = float(np.percentile(shard_arr, 99)) if shard_arr.size else float("nan")
     demand = counters["full"] + counters["partial"] + counters["failed"]
-    window = config.duration - config.warmup
+    window_s = config.duration - config.warmup
     return ClusterSummary(
         policy=policy_name or "unknown",
         n_shards=config.n_shards,
@@ -402,7 +402,7 @@ def run_cluster_point(
             else float("nan")
         ),
         goodput=(
-            counters["in_slo"] / window
+            counters["in_slo"] / window_s
             if config.deadline is not None
             else float("nan")
         ),

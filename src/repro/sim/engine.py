@@ -36,46 +36,46 @@ class Simulator:
     def processed_events(self) -> int:
         return self._processed
 
-    def schedule_at(self, time: float, callback: EventCallback) -> None:
-        """Schedule ``callback`` at absolute virtual ``time``."""
-        if time < self._now:
+    def schedule_at(self, time_s: float, callback: EventCallback) -> None:
+        """Schedule ``callback`` at absolute virtual ``time_s`` (seconds)."""
+        if time_s < self._now:
             raise SimulationError(
-                f"cannot schedule in the past: {time} < now {self._now}"
+                f"cannot schedule in the past: {time_s} < now {self._now}"
             )
-        heapq.heappush(self._heap, (time, self._sequence, callback))
+        heapq.heappush(self._heap, (time_s, self._sequence, callback))
         self._sequence += 1
 
-    def schedule(self, delay: float, callback: EventCallback) -> None:
-        """Schedule ``callback`` after ``delay`` seconds of virtual time."""
-        if delay < 0:
-            raise SimulationError(f"delay must be >= 0, got {delay}")
-        self.schedule_at(self._now + delay, callback)
+    def schedule(self, delay_s: float, callback: EventCallback) -> None:
+        """Schedule ``callback`` after ``delay_s`` seconds of virtual time."""
+        if delay_s < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay_s}")
+        self.schedule_at(self._now + delay_s, callback)
 
     def step(self) -> bool:
         """Process one event; returns False if none remain."""
         if not self._heap:
             return False
-        time, _, callback = heapq.heappop(self._heap)
-        self._now = time
+        time_s, _, callback = heapq.heappop(self._heap)
+        self._now = time_s
         self._processed += 1
         callback()
         return True
 
-    def run(self, until: Optional[float] = None) -> None:
-        """Run until the event queue drains or virtual time passes ``until``.
+    def run(self, until_s: Optional[float] = None) -> None:
+        """Run until the event queue drains or virtual time passes ``until_s``.
 
         With a horizon, events scheduled beyond it remain queued and
         ``now`` is advanced exactly to the horizon.
         """
-        if until is None:
+        if until_s is None:
             while self.step():
                 pass
             return
-        if until < self._now:
-            raise SimulationError(f"horizon {until} is before now {self._now}")
-        while self._heap and self._heap[0][0] <= until:
+        if until_s < self._now:
+            raise SimulationError(f"horizon {until_s} is before now {self._now}")
+        while self._heap and self._heap[0][0] <= until_s:
             self.step()
-        self._now = until
+        self._now = until_s
 
     def __repr__(self) -> str:
         return (

@@ -132,7 +132,7 @@ def run_load_point(
         simulator.schedule(gap, arrive)
 
     schedule_next()
-    simulator.run(until=config.duration)
+    simulator.run(until_s=config.duration)
     # Drain in-flight work (bounded, so an overloaded point cannot spin
     # forever: past 9x the horizon the remaining jobs are dropped from
     # the statistics — they only exist in deeply saturated sweeps).

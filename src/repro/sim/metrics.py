@@ -97,19 +97,20 @@ class MetricsCollector:
         if arrival >= self.warmup:
             self.n_shed_in_window += 1
 
-    def on_core_usage(self, start: float, end: float, cores: int) -> None:
-        """Account ``cores`` busy during [start, end], clipped to window."""
-        lo = max(start, self.warmup)
-        hi = min(end, self.horizon)
-        if hi > lo:
-            self.busy_core_seconds += cores * (hi - lo)
+    def on_core_usage(self, start_s: float, end_s: float, cores: int) -> None:
+        """Account ``cores`` busy during [start_s, end_s], clipped to window."""
+        lo_s = max(start_s, self.warmup)
+        hi_s = min(end_s, self.horizon)
+        if hi_s > lo_s:
+            self.busy_core_seconds += cores * (hi_s - lo_s)
 
     # ----------------------------------------------------------------
     # Summaries
     # ----------------------------------------------------------------
 
     @property
-    def window(self) -> float:
+    def window_s(self) -> float:
+        """Measurement window length in seconds."""
         return self.horizon - self.warmup
 
     @property
@@ -125,11 +126,12 @@ class MetricsCollector:
     def degrees(self) -> npt.NDArray[np.int64]:
         return np.asarray([r.degree for r in self.records], dtype=np.int64)
 
-    def latency_percentile(self, q: float) -> float:
+    def latency_percentile(self, q_pct: float) -> float:
+        """Latency percentile; ``q_pct`` is on the [0, 100] scale."""
         lat = self.latencies()
         if lat.size == 0:
             return float("nan")
-        return float(np.percentile(lat, q))
+        return float(np.percentile(lat, q_pct))
 
     def mean_latency(self) -> float:
         lat = self.latencies()
@@ -137,11 +139,11 @@ class MetricsCollector:
 
     def throughput(self) -> float:
         """Completed queries per second inside the window."""
-        return self.n_completed_in_window / self.window
+        return self.n_completed_in_window / self.window_s
 
     def utilization(self) -> float:
         """Mean fraction of cores busy inside the window."""
-        return self.busy_core_seconds / (self.n_cores * self.window)
+        return self.busy_core_seconds / (self.n_cores * self.window_s)
 
     def shed_rate(self) -> float:
         """Fraction of in-window demand (observed + shed) dropped."""
@@ -175,7 +177,7 @@ class MetricsCollector:
             if self.warmup <= r.completion <= self.horizon
             and r.latency <= deadline
         )
-        return in_slo / self.window
+        return in_slo / self.window_s
 
     def degree_histogram(self) -> Dict[int, float]:
         """Fraction of observed queries granted each degree."""

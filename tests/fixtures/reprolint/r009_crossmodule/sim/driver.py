@@ -1,0 +1,12 @@
+"""Caller side: a seconds-valued arrival interval crosses the module
+boundary into ``server.admit``'s milliseconds-valued deadline, and the
+same interval is passed where a rate is expected (1/x inversion)."""
+
+from sim.server import admit, set_arrival_rate
+
+
+def drive(interval_s: float) -> None:
+    admit(0, interval_s)  # EXPECT:R009
+    admit(0, interval_s * 1000.0)  # converted: fine
+    set_arrival_rate(interval_s)  # EXPECT:R009
+    set_arrival_rate(1.0 / interval_s)  # inverted: fine

@@ -1,0 +1,9 @@
+"""Callee side of the cross-module units regression: ms-valued API."""
+
+
+def admit(query_id: int, deadline_ms: float) -> bool:
+    return query_id >= 0 and deadline_ms > 0.0
+
+
+def set_arrival_rate(rate_qps: float) -> float:
+    return rate_qps

@@ -1,0 +1,54 @@
+"""R009 fixture: units-of-measure dataflow violations.
+
+Covers every mismatch class the rule detects: ms/s scale mixing,
+time-vs-rate addition, rate-vs-interval inversion at a call site,
+fraction/percentile scale confusion, and assignment of one unit to a
+name that declares another. Never imported or executed.
+"""
+
+import numpy as np
+
+
+def scale_mixing(deadline_ms: float, timeout_s: float) -> tuple:
+    total = deadline_ms + timeout_s  # EXPECT:R009
+    budget_ms = timeout_s  # EXPECT:R009
+    ratio = deadline_ms / timeout_s  # EXPECT:R009
+    fine_ms = deadline_ms + 5.0  # constants are dimensionless: no finding
+    converted_ms = timeout_s * 1000.0  # scalar conversion: scale downgraded, fine
+    legacy_ms = timeout_s  # reprolint: disable=R009 -- legacy dashboard stores seconds under _ms
+    return (total, budget_ms, ratio, fine_ms, converted_ms, legacy_ms)
+
+
+def family_mixing(rate: float, duration_s: float) -> float:
+    broken = rate + duration_s  # EXPECT:R009
+    count = rate * duration_s  # rate x time is a count: no finding
+    if rate > duration_s:  # EXPECT:R009
+        return broken
+    return count
+
+
+def interval_for(rate_qps: float) -> float:
+    return 1.0 / rate_qps
+
+
+def consume_interval(interval_s: float) -> float:
+    return interval_s * 2.0
+
+
+def inversion(rate_qps: float) -> float:
+    good = consume_interval(interval_for(rate_qps))
+    bad = consume_interval(rate_qps)  # EXPECT:R009
+    return good + bad
+
+
+def percentile_scales(latencies: list) -> float:
+    p99 = np.percentile(latencies, 99)  # correct [0, 100] position
+    wrong = np.percentile(latencies, 0.99)  # EXPECT:R009
+    also_wrong = np.quantile(latencies, 99)  # EXPECT:R009
+    return p99 + wrong + also_wrong
+
+
+def propagation(warmup_s: float) -> float:
+    copied = warmup_s  # unit flows through the assignment
+    stale_ms = copied  # EXPECT:R009
+    return stale_ms

@@ -1,0 +1,7 @@
+"""Callee that derives a stream from a factory it was handed."""
+
+from repro.util.rng import RngFactory
+
+
+def sample_stream(streams: RngFactory) -> object:
+    return streams.stream("arrivals")  # EXPECT:R010

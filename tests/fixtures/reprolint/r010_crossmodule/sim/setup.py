@@ -1,0 +1,13 @@
+"""Caller that also derives "arrivals" from the SAME factory it passes
+to ``helper.sample_stream`` — a cross-module stream collision."""
+
+from repro.util.rng import RngFactory
+
+from sim.helper import sample_stream
+
+
+def build(seed: int) -> None:
+    streams = RngFactory(seed)
+    arrival_rng = streams.stream("arrivals")  # EXPECT:R010
+    other = sample_stream(streams)
+    del arrival_rng, other

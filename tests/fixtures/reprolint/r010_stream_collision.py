@@ -1,0 +1,51 @@
+"""R010 fixture: colliding RngFactory stream/child label paths.
+
+Two call sites asking the same factory for the same label receive
+bit-identical generators; the rule also catches a constant label inside
+a loop (every iteration replays one stream) and collisions through
+``child()`` derivations. Never imported or executed.
+"""
+
+from repro.util.rng import RngFactory
+
+
+def duplicated_label(seed: int) -> None:
+    streams = RngFactory(seed)
+    arrival_rng = streams.stream("arrivals")  # EXPECT:R010
+    service_rng = streams.stream("service")
+    sample_rng = streams.stream("arrivals")  # EXPECT:R010
+    del arrival_rng, service_rng, sample_rng
+
+
+def loop_constant_label(seed: int) -> None:
+    factory = RngFactory(seed)
+    for shard_id in range(4):
+        shard_rng = factory.stream("shard")  # EXPECT:R010
+        del shard_rng
+    for shard_id in range(4):
+        ok_rng = factory.stream("shard", shard_id)  # varying label: fine
+        del ok_rng
+
+
+def child_path_collision(seed: int) -> None:
+    root = RngFactory(seed)
+    shard = root.child("shard")
+    noise_a = shard.stream("noise")  # EXPECT:R010
+    noise_b = root.child("shard").stream("noise")  # EXPECT:R010
+    del noise_a, noise_b
+
+
+def distinct_factories(seed: int) -> None:
+    # Same label on *different* factories (different seed exprs): fine.
+    one = RngFactory(seed)
+    two = RngFactory(seed + 1)
+    a = one.stream("arrivals")
+    b = two.stream("arrivals")
+    del a, b
+
+
+def deliberate_replay(seed: int) -> None:
+    factory = RngFactory(seed)
+    first = factory.stream("replay")  # reprolint: disable=R010 -- replay is the point here
+    again = factory.stream("replay")  # reprolint: disable=R010 -- replay is the point here
+    del first, again

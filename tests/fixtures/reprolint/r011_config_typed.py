@@ -1,0 +1,48 @@
+"""R011 fixture: typed ``*Config`` field consumption.
+
+The sharpening over R006: a field read named ``dead_knob`` on some
+*other* class no longer counts as consumption of
+``TunedConfig.dead_knob`` — only reads through a receiver of the
+config's own type (or an untyped receiver) do. Never imported or
+executed.
+"""
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+
+@dataclass(frozen=True)
+class TunedConfig:
+    rate: float = 100.0  # consumed via a typed receiver below
+    dead_knob: float = 0.5  # EXPECT:R011
+    reflective: int = 1  # reprolint: disable=R011 -- consumed via getattr sweep
+    fuzzy: int = 2  # consumed via an untyped receiver: not flagged
+    kind: ClassVar[str] = "tuned"  # ClassVar: never flagged
+
+
+class Telemetry:
+    """Has a name-colliding ``dead_knob`` attribute of its own."""
+
+    def __init__(self) -> None:
+        self.dead_knob = 0.0
+
+    def read(self) -> float:
+        # A typed read — but of Telemetry, not TunedConfig, so it does
+        # NOT mark TunedConfig.dead_knob as consumed (R006 would).
+        return self.dead_knob
+
+
+def consume(config: TunedConfig) -> float:
+    return config.rate
+
+
+def untyped_consumer(config) -> int:
+    # Unannotated receiver: unresolvable, counts as consumption.
+    return config.fuzzy
+
+
+def reflective_consumer(config: TunedConfig) -> object:
+    # getattr with a string constant counts as (untyped) consumption —
+    # of 'kind' here; 'reflective' above deliberately has NO consumer
+    # and relies on its suppression comment.
+    return getattr(config, "kind")

@@ -1,0 +1,7 @@
+"""Registered, well-formed experiment: no findings."""
+
+EXPERIMENT_ID = "e02"
+
+
+def run(outdir: str) -> None:
+    del outdir

@@ -1,0 +1,7 @@
+"""Defines an experiment but never appears in the registry's _MODULES."""
+
+EXPERIMENT_ID = "e03"  # EXPECT:R013
+
+
+def run(outdir: str) -> None:
+    del outdir

@@ -1,0 +1,7 @@
+"""Duplicates e01_alpha's experiment id (and is unregistered too)."""
+
+EXPERIMENT_ID = "e01"  # EXPECT:R013 EXPECT:R013
+
+
+def run(outdir: str) -> None:
+    del outdir

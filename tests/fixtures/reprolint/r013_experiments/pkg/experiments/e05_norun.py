@@ -1,0 +1,3 @@
+"""Registered but missing the run() entry point the harness calls."""
+
+EXPERIMENT_ID = "e05"

@@ -1,0 +1,7 @@
+"""Unregistered work-in-progress experiment, suppressed with a reason."""
+
+EXPERIMENT_ID = "e06"  # reprolint: disable=R013 -- WIP: registered once results stabilize
+
+
+def run(outdir: str) -> None:
+    del outdir

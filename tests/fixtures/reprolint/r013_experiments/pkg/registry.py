@@ -1,0 +1,11 @@
+"""R013 fixture registry: deliberately incomplete and inconsistent."""
+
+from pkg.experiments import e01_alpha, e02_beta, e05_norun
+
+_MODULES = (  # EXPECT:R013
+    e01_alpha,
+    e02_beta,
+    e05_norun,
+)
+
+EXPERIMENTS = {module.EXPERIMENT_ID: module.run for module in _MODULES}

@@ -1,0 +1,37 @@
+"""Suppression edge cases, asserted exactly by the suppression tests.
+
+Each line documents the intended interaction:
+
+* ``disable=all`` silences every rule on its line only;
+* comma lists silence exactly the listed rules;
+* malformed directives (missing ``=``, unknown word) suppress nothing;
+* a ``disable-file`` directive silences its rule everywhere in the file
+  and composes with per-line disables for other rules.
+
+R001 (unseeded RNG) and R005 (mutable defaults) are the probe rules —
+each violating line is annotated with what still fires. Never imported
+or executed.
+"""
+# reprolint: disable-file=R004 -- file-wide: probe for disable-file x per-line interplay
+
+import numpy as np
+
+rng_all = np.random.default_rng()  # reprolint: disable=all
+rng_list = np.random.default_rng()  # reprolint: disable=R001,R005 -- comma list
+rng_other = np.random.default_rng()  # reprolint: disable=R005 -- wrong rule, R001 still fires  # EXPECT:R001
+rng_malformed = np.random.default_rng()  # reprolint: disable R001 (missing '=')  # EXPECT:R001
+rng_typo = np.random.default_rng()  # reprolint: disab1e=R001 -- typo directive  # EXPECT:R001
+rng_empty = np.random.default_rng()  # reprolint: disable= -- empty list  # EXPECT:R001
+
+
+def mutable_default(xs: list = []) -> list:  # EXPECT:R005
+    # The file-wide R004 disable does not touch R005.
+    return xs
+
+
+def float_eq_suppressed_filewide(t1: float, t2: float) -> bool:
+    return t1 == t2  # R004, silenced by the disable-file directive above
+
+
+def combined(elapsed: float = 0.0, ys: list = []) -> bool:  # reprolint: disable=R005 -- per-line on top of file-wide R004
+    return elapsed == float(len(ys))  # R004 again: still file-silenced here

@@ -21,9 +21,15 @@ from pathlib import Path
 import pytest
 
 from tools.reprolint import all_rules, lint_paths, lint_source
+from tools.reprolint.baseline import (
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
 from tools.reprolint.cli import main as reprolint_main
 from tools.reprolint.core import Suppressions
-from tools.reprolint.reporter import render_json, render_text
+from tools.reprolint.reporter import render_json, render_sarif, render_text
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 FIXTURES = Path(__file__).resolve().parent / "fixtures" / "reprolint"
@@ -32,20 +38,37 @@ _EXPECT = re.compile(r"EXPECT:(R\d{3})")
 
 
 def expected_findings(fixture: Path) -> Counter:
-    """(line, rule) -> count multiset from the EXPECT markers."""
+    """(filename, line, rule) -> count multiset from EXPECT markers.
+
+    ``fixture`` may be a single file or a directory tree (whole-program
+    rule fixtures span several modules).
+    """
+    files = sorted(fixture.rglob("*.py")) if fixture.is_dir() else [fixture]
     expectations: Counter = Counter()
-    for lineno, text in enumerate(fixture.read_text().splitlines(), start=1):
-        for rule_id in _EXPECT.findall(text):
-            expectations[(lineno, rule_id)] += 1
+    for path in files:
+        for lineno, text in enumerate(path.read_text().splitlines(), start=1):
+            for rule_id in _EXPECT.findall(text):
+                expectations[(path.name, lineno, rule_id)] += 1
     return expectations
 
 
+def actual_findings(result) -> Counter:
+    return Counter(
+        (Path(f.path).name, f.line, f.rule_id) for f in result.findings
+    )
+
+
 def lint_fixture(tmp_path: Path, fixture_name: str, rule_id: str, subdir: str = "sim"):
-    """Copy a fixture under ``<tmp>/<subdir>/`` and lint it with one rule."""
+    """Copy a fixture (file or tree) under ``<tmp>/<subdir>/`` and lint
+    it with one rule."""
     target_dir = tmp_path / subdir
+    source = FIXTURES / fixture_name
+    if source.is_dir():
+        shutil.copytree(source, target_dir / fixture_name)
+        return lint_paths([str(target_dir / fixture_name)], select=[rule_id])
     target_dir.mkdir(parents=True, exist_ok=True)
     target = target_dir / fixture_name
-    shutil.copy(FIXTURES / fixture_name, target)
+    shutil.copy(source, target)
     return lint_paths([str(target)], select=[rule_id])
 
 
@@ -58,6 +81,11 @@ RULE_FIXTURES = {
     "R006": "r006_config_fields.py",
     "R007": "r007_swallowed_exceptions.py",
     "R008": "r008_annotations.py",
+    "R009": "r009_units.py",
+    "R010": "r010_stream_collision.py",
+    "R011": "r011_config_typed.py",
+    "R012": "r012_thread_safety.py",
+    "R013": "r013_experiments",
 }
 
 
@@ -66,10 +94,9 @@ class TestRuleFixtures:
     def test_exact_findings_and_lines(self, tmp_path, rule_id):
         fixture_name = RULE_FIXTURES[rule_id]
         result = lint_fixture(tmp_path, fixture_name, rule_id)
-        actual = Counter((f.line, f.rule_id) for f in result.findings)
         expected = expected_findings(FIXTURES / fixture_name)
         assert expected, f"fixture {fixture_name} has no EXPECT markers"
-        assert actual == expected
+        assert actual_findings(result) == expected
 
     @pytest.mark.parametrize("rule_id", sorted(RULE_FIXTURES))
     def test_suppression_comment_works(self, tmp_path, rule_id):
@@ -77,13 +104,31 @@ class TestRuleFixtures:
         # violation; stripping the suppressions must surface MORE
         # findings than the annotated run.
         fixture_name = RULE_FIXTURES[rule_id]
-        source = (FIXTURES / fixture_name).read_text()
-        assert "reprolint: disable=" in source
-        stripped = re.sub(r"# reprolint: disable=\S+.*$", "", source, flags=re.M)
-        path = f"sim/{fixture_name}"
-        with_suppressions = lint_source(source, path, select=[rule_id])
-        without = lint_source(stripped, path, select=[rule_id])
-        assert len(without) > len(with_suppressions)
+        annotated = lint_fixture(tmp_path / "with", fixture_name, rule_id)
+        stripped_root = tmp_path / "without" / "sim"
+        source_fixture = FIXTURES / fixture_name
+        files = (
+            sorted(source_fixture.rglob("*.py"))
+            if source_fixture.is_dir()
+            else [source_fixture]
+        )
+        saw_suppression = False
+        for path in files:
+            source = path.read_text()
+            saw_suppression = saw_suppression or "reprolint: disable=" in source
+            relative = (
+                path.relative_to(source_fixture.parent)
+                if source_fixture.is_dir()
+                else Path(path.name)
+            )
+            target = stripped_root / relative
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(
+                re.sub(r"# reprolint: disable=\S+.*$", "", source, flags=re.M)
+            )
+        assert saw_suppression, f"{fixture_name} exercises no suppressions"
+        without = lint_paths([str(stripped_root)], select=[rule_id])
+        assert len(without.findings) > len(annotated.findings)
 
 
 class TestPathScoping:
@@ -200,6 +245,202 @@ class TestReporters:
         assert not result.ok
         assert result.all_findings[0].rule_id == "E999"
 
+    def test_json_schema_shape(self, tmp_path):
+        # The JSON report is consumed by CI tooling; its top-level shape
+        # is a stable contract (schema_version bumps on change).
+        result = lint_fixture(tmp_path, "r007_swallowed_exceptions.py", "R007")
+        payload = json.loads(render_json(result))
+        assert set(payload) == {
+            "schema_version",
+            "files_scanned",
+            "rules",
+            "counts_by_rule",
+            "findings",
+            "suppressed_by_rule",
+            "suppressed_total",
+            "baselined",
+        }
+        assert payload["schema_version"] == 2
+        assert payload["files_scanned"] == 1
+        for rule_id, meta in payload["rules"].items():
+            assert re.fullmatch(r"R\d{3}", rule_id)
+            assert set(meta) == {"summary", "rationale", "project_rule"}
+            assert isinstance(meta["project_rule"], bool)
+        assert payload["suppressed_total"] == sum(
+            payload["suppressed_by_rule"].values()
+        )
+        assert payload["baselined"] == []
+
+    def test_json_reports_suppressions(self, tmp_path):
+        result = lint_fixture(tmp_path, "r005_mutable_defaults.py", "R005")
+        payload = json.loads(render_json(result))
+        assert payload["suppressed_by_rule"].get("R005", 0) >= 1
+
+    def test_sarif_shape(self, tmp_path):
+        result = lint_fixture(tmp_path, "r004_float_equality.py", "R004")
+        sarif = json.loads(render_sarif(result))
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "reprolint"
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        assert rule_ids == sorted(rule_ids)
+        for res in run["results"]:
+            assert rule_ids[res["ruleIndex"]] == res["ruleId"]
+            location = res["locations"][0]["physicalLocation"]
+            assert location["region"]["startLine"] >= 1
+        assert len(run["results"]) == len(result.findings)
+
+
+class TestSuppressionEdges:
+    def test_fixture_exact(self, tmp_path):
+        target_dir = tmp_path / "sim"
+        target_dir.mkdir()
+        target = target_dir / "suppression_edges.py"
+        shutil.copy(FIXTURES / "suppression_edges.py", target)
+        result = lint_paths([str(target)], select=["R001", "R004", "R005"])
+        expected = expected_findings(FIXTURES / "suppression_edges.py")
+        assert actual_findings(result) == expected
+
+    def test_fixture_suppressed_set(self, tmp_path):
+        # disable=all and the comma list silence R001 (lines 19-20); the
+        # file-wide directive silences R004 everywhere (lines 33, 37);
+        # the per-line disable on `combined` silences its R005 (line 36).
+        target_dir = tmp_path / "sim"
+        target_dir.mkdir()
+        target = target_dir / "suppression_edges.py"
+        shutil.copy(FIXTURES / "suppression_edges.py", target)
+        result = lint_paths([str(target)], select=["R001", "R004", "R005"])
+        suppressed = sorted((f.line, f.rule_id) for f in result.suppressed)
+        assert suppressed == [
+            (19, "R001"),
+            (20, "R001"),
+            (33, "R004"),
+            (36, "R005"),
+            (37, "R004"),
+        ]
+
+    def test_malformed_directives_suppress_nothing(self):
+        for text in (
+            "x = 1  # reprolint: disable R001\n",  # missing '='
+            "x = 1  # reprolint: disab1e=R001\n",  # typo
+            "x = 1  # reprolint: disable=\n",  # empty list
+        ):
+            sup = Suppressions.from_source(text)
+            assert not sup.is_suppressed("R001", 1), text
+
+    def test_disable_file_all(self):
+        sup = Suppressions.from_source("# reprolint: disable-file=all\nx = 1\n")
+        assert sup.is_suppressed("R001", 2)
+        assert sup.is_suppressed("R013", 2)
+
+
+class TestBaseline:
+    def _lint_wall_clock(self, tmp_path, body):
+        target_dir = tmp_path / "sim"
+        target_dir.mkdir(exist_ok=True)
+        target = target_dir / "legacy.py"
+        target.write_text(body)
+        return target, lint_paths([str(target)], select=["R003"])
+
+    BODY = "import time\n\n\ndef f() -> float:\n    return time.time()\n"
+
+    def test_round_trip(self, tmp_path):
+        target, result = self._lint_wall_clock(tmp_path, self.BODY)
+        assert len(result.findings) == 1
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(str(baseline_file), result.findings)
+        entries = load_baseline(str(baseline_file))
+        new, baselined, stale = apply_baseline(result.findings, entries)
+        assert new == []
+        assert len(baselined) == 1
+        assert stale == []
+
+    def test_line_moves_stay_baselined(self, tmp_path):
+        # Fingerprints are (path, rule, message) — inserting lines above
+        # a baselined finding must not resurrect it.
+        target, result = self._lint_wall_clock(tmp_path, self.BODY)
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(str(baseline_file), result.findings)
+        shifted = "CONSTANT = 1\nOTHER = 2\n" + self.BODY
+        target.write_text(shifted)
+        moved = lint_paths([str(target)], select=["R003"])
+        assert moved.findings[0].line != result.findings[0].line
+        new, baselined, stale = apply_baseline(
+            moved.findings, load_baseline(str(baseline_file))
+        )
+        assert new == []
+        assert len(baselined) == 1
+
+    def test_stale_entries_surface_without_failing(self, tmp_path):
+        target, result = self._lint_wall_clock(tmp_path, self.BODY)
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(str(baseline_file), result.findings)
+        target.write_text('"""Fixed."""\n')
+        clean = lint_paths([str(target)], select=["R003"])
+        new, baselined, stale = apply_baseline(
+            clean.findings, load_baseline(str(baseline_file))
+        )
+        assert new == [] and baselined == []
+        assert len(stale) == 1
+        assert stale[0] == fingerprint(result.findings[0])
+
+    def test_load_rejects_malformed(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("not json")
+        with pytest.raises(ValueError):
+            load_baseline(str(bad))
+        bad.write_text('{"version": 99, "entries": []}')
+        with pytest.raises(ValueError):
+            load_baseline(str(bad))
+        bad.write_text('{"version": 1, "entries": [{"path": "x"}]}')
+        with pytest.raises(ValueError):
+            load_baseline(str(bad))
+
+    def test_cli_staged_adoption_flow(self, tmp_path, capsys):
+        target, result = self._lint_wall_clock(tmp_path, self.BODY)
+        baseline_file = tmp_path / "baseline.json"
+        # Gate fails on the legacy finding...
+        assert reprolint_main([str(target), "--select", "R003"]) == 1
+        # ...snapshotting it lets the gate pass...
+        assert (
+            reprolint_main(
+                [str(target), "--select", "R003",
+                 "--write-baseline", str(baseline_file)]
+            )
+            == 0
+        )
+        assert (
+            reprolint_main(
+                [str(target), "--select", "R003",
+                 "--baseline", str(baseline_file)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        # ...but a NEW finding still fails against the same baseline.
+        target.write_text(self.BODY + "\n\ndef g() -> float:\n    return time.monotonic()\n")
+        assert (
+            reprolint_main(
+                [str(target), "--select", "R003",
+                 "--baseline", str(baseline_file)]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "monotonic" in out
+
+    def test_cli_malformed_baseline_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{broken")
+        target_dir = tmp_path / "sim"
+        target_dir.mkdir()
+        (target_dir / "ok.py").write_text('"""Clean."""\n')
+        assert (
+            reprolint_main([str(target_dir), "--baseline", str(bad)]) == 2
+        )
+        assert "reprolint: error" in capsys.readouterr().err
+
 
 class TestCli:
     def test_exit_zero_flag(self, tmp_path, capsys):
@@ -223,10 +464,43 @@ class TestCli:
         for rule_id in RULE_FIXTURES:
             assert rule_id in out
 
+    def test_sarif_format_flag(self, tmp_path, capsys):
+        target_dir = tmp_path / "sim"
+        target_dir.mkdir()
+        shutil.copy(
+            FIXTURES / "r004_float_equality.py", target_dir / "r004.py"
+        )
+        assert (
+            reprolint_main([str(target_dir), "--format", "sarif", "--exit-zero"])
+            == 0
+        )
+        sarif = json.loads(capsys.readouterr().out)
+        assert sarif["version"] == "2.1.0"
+        assert any(r["ruleId"] == "R004" for r in sarif["runs"][0]["results"])
+
+    def test_output_file_flag(self, tmp_path, capsys):
+        target_dir = tmp_path / "sim"
+        target_dir.mkdir()
+        (target_dir / "clean.py").write_text('"""Clean."""\n')
+        out_file = tmp_path / "report.json"
+        assert (
+            reprolint_main(
+                [str(target_dir), "--format", "json", "--output", str(out_file)]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == ""
+        payload = json.loads(out_file.read_text())
+        assert payload["findings"] == []
+
     def test_module_entry_point_on_real_src(self):
         # The gate the CI job runs: must exit 0 on the current tree.
         proc = subprocess.run(
-            [sys.executable, "-m", "tools.reprolint", "src"],
+            [
+                sys.executable, "-m", "tools.reprolint",
+                "src", "tests", "tools",
+                "--baseline", ".reprolint-baseline.json",
+            ],
             cwd=REPO_ROOT,
             capture_output=True,
             text=True,

@@ -115,22 +115,22 @@ class TestNHPP:
                 process.next_interarrival()
 
     def test_diurnal_mean_rate_over_period(self, rng):
-        period = 10.0
+        period_s = 10.0
         process = diurnal_arrivals(base_rate=1000.0, amplitude=0.8,
-                                   period=period, rng=rng)
+                                   period_s=period_s, rng=rng)
         times = np.cumsum([process.next_interarrival() for _ in range(50_000)])
-        full_periods = int(times[-1] / period)
-        inside = times[times < full_periods * period]
-        measured = inside.size / (full_periods * period)
+        full_periods = int(times[-1] / period_s)
+        inside = times[times < full_periods * period_s]
+        measured = inside.size / (full_periods * period_s)
         assert measured == pytest.approx(1000.0, rel=0.05)
 
     def test_diurnal_peak_vs_trough_density(self):
-        period = 10.0
+        period_s = 10.0
         process = diurnal_arrivals(base_rate=2000.0, amplitude=0.9,
-                                   period=period,
+                                   period_s=period_s,
                                    rng=np.random.default_rng(8))
         times = np.cumsum([process.next_interarrival() for _ in range(80_000)])
-        phase = (times % period) / period
+        phase = (times % period_s) / period_s
         # sin peaks at phase 0.25, troughs at 0.75.
         peak = np.sum((phase > 0.15) & (phase < 0.35))
         trough = np.sum((phase > 0.65) & (phase < 0.85))

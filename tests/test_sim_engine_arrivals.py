@@ -43,7 +43,7 @@ class TestSimulator:
         fired = []
         sim.schedule_at(1.0, lambda: fired.append(1))
         sim.schedule_at(10.0, lambda: fired.append(2))
-        sim.run(until=5.0)
+        sim.run(until_s=5.0)
         assert fired == [1]
         assert sim.now == 5.0  # reprolint: disable=R004 -- clock is assigned exactly to `until`, not accumulated
         assert sim.pending_events == 1
@@ -74,9 +74,9 @@ class TestSimulator:
     def test_backwards_horizon_rejected(self):
         sim = Simulator()
         sim.schedule_at(2.0, lambda: None)
-        sim.run(until=3.0)
+        sim.run(until_s=3.0)
         with pytest.raises(SimulationError):
-            sim.run(until=1.0)
+            sim.run(until_s=1.0)
 
     def test_processed_count(self):
         sim = Simulator()
@@ -115,7 +115,7 @@ class TestMMPP2:
 
     def test_with_mean_rate_hits_target(self, rng):
         process = MMPP2Arrivals.with_mean_rate(
-            mean_rate=200.0, burst_ratio=5.0, mean_dwell=0.05, rng=rng
+            mean_rate=200.0, burst_ratio=5.0, mean_dwell_s=0.05, rng=rng
         )
         assert process.mean_rate == pytest.approx(200.0, rel=1e-9)
         gaps = [process.next_interarrival() for _ in range(60_000)]
@@ -124,7 +124,7 @@ class TestMMPP2:
     def test_burstier_than_poisson(self, rng):
         """Index of dispersion of counts should exceed 1 for MMPP."""
         process = MMPP2Arrivals.with_mean_rate(
-            mean_rate=1000.0, burst_ratio=8.0, mean_dwell=0.1,
+            mean_rate=1000.0, burst_ratio=8.0, mean_dwell_s=0.1,
             rng=np.random.default_rng(0),
         )
         times = np.cumsum([process.next_interarrival() for _ in range(50_000)])
@@ -135,7 +135,7 @@ class TestMMPP2:
 
     def test_degenerate_ratio_one_is_poisson_like(self, rng):
         process = MMPP2Arrivals.with_mean_rate(
-            mean_rate=500.0, burst_ratio=1.0, mean_dwell=0.05, rng=rng
+            mean_rate=500.0, burst_ratio=1.0, mean_dwell_s=0.05, rng=rng
         )
         assert process.rate_low == pytest.approx(process.rate_high)
 

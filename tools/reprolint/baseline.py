@@ -1,0 +1,99 @@
+"""Baseline mechanism for staged rule adoption.
+
+A baseline file (``.reprolint-baseline.json``) records known, accepted
+findings so a newly introduced rule can gate *new* violations
+immediately while the existing ones are burned down over time:
+
+* ``--write-baseline FILE`` snapshots the current findings;
+* ``--baseline FILE`` filters any finding whose fingerprint appears in
+  the file out of the failing set (it is still reported as baselined).
+
+Fingerprints are ``(path, rule_id, message)`` — deliberately **not**
+line numbers, so unrelated edits that shift code around do not
+invalidate the baseline, while fixing the finding (message changes or
+disappears) does. Entries in the baseline that no longer match any
+finding are *stale* and reported so the file can be shrunk; stale
+entries never cause a failure by themselves.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from tools.reprolint.core import Finding
+
+#: Schema version of the baseline file itself.
+BASELINE_VERSION = 1
+
+Fingerprint = Tuple[str, str, str]  # (path, rule_id, message)
+
+
+def fingerprint(finding: Finding) -> Fingerprint:
+    return (finding.path, finding.rule_id, finding.message)
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    """Snapshot ``findings`` (fingerprints only) to ``path``."""
+    entries = sorted(
+        {fingerprint(finding) for finding in findings}
+    )
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [
+            {"path": entry[0], "rule": entry[1], "message": entry[2]}
+            for entry in entries
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def load_baseline(path: str) -> List[Fingerprint]:
+    """Load fingerprints from a baseline file (raises ValueError on a
+    malformed document)."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"malformed baseline file {path}: {exc}") from exc
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise ValueError(f"malformed baseline file {path}: no 'entries' key")
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline file {path} has version {payload.get('version')!r}; "
+            f"this reprolint reads version {BASELINE_VERSION}"
+        )
+    entries: List[Fingerprint] = []
+    for raw in payload["entries"]:
+        if not isinstance(raw, dict):
+            raise ValueError(f"malformed baseline entry in {path}: {raw!r}")
+        try:
+            entries.append((str(raw["path"]), str(raw["rule"]), str(raw["message"])))
+        except KeyError as exc:
+            raise ValueError(
+                f"baseline entry in {path} missing key {exc}"
+            ) from exc
+    return entries
+
+
+def apply_baseline(
+    findings: Sequence[Finding], entries: Sequence[Fingerprint]
+) -> Tuple[List[Finding], List[Finding], List[Fingerprint]]:
+    """Split findings into (new, baselined); also return stale entries.
+
+    A baseline entry absorbs ANY number of findings with its fingerprint
+    (several identical violations in one file count as one entry).
+    """
+    known = set(entries)
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    matched: set = set()
+    for finding in findings:
+        fp = fingerprint(finding)
+        if fp in known:
+            baselined.append(finding)
+            matched.add(fp)
+        else:
+            new.append(finding)
+    stale = sorted(known - matched)
+    return new, baselined, stale

@@ -3,16 +3,23 @@
 Exit codes: 0 = clean, 1 = findings (or parse errors), 2 = usage error.
 ``--exit-zero`` keeps the report but always exits 0 (report-only mode,
 used when surveying a tree before gating it).
+
+Staged adoption: ``--write-baseline .reprolint-baseline.json`` snapshots
+today's findings; running with ``--baseline .reprolint-baseline.json``
+then fails only on findings *not* in the snapshot, so a new rule gates
+new code immediately while the backlog is burned down.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
+from tools.reprolint.baseline import apply_baseline, load_baseline, write_baseline
 from tools.reprolint.core import all_rules, lint_paths
-from tools.reprolint.reporter import render_json, render_text
+from tools.reprolint.reporter import render_json, render_sarif, render_text
 
 
 def _split_rule_list(raw: Optional[str]) -> Optional[List[str]]:
@@ -26,7 +33,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m tools.reprolint",
         description=(
             "AST-based determinism & simulation-correctness linter for "
-            "this repository (rules R001-R008; see CONTRIBUTING.md)."
+            "this repository (per-file rules R001-R008 and whole-program "
+            "analyses R009-R013; see CONTRIBUTING.md)."
         ),
     )
     parser.add_argument(
@@ -34,8 +42,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE",
+        help="write the report to FILE instead of stdout",
     )
     parser.add_argument(
         "--select", metavar="RULES",
@@ -44,6 +56,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--ignore", metavar="RULES",
         help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="suppress findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="FILE",
+        help="snapshot current findings to FILE and exit 0",
     )
     parser.add_argument(
         "--exit-zero", action="store_true",
@@ -66,7 +86,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.list_rules:
         for rule_id, rule_cls in sorted(all_rules().items()):
-            print(f"{rule_id}  {rule_cls.summary}")
+            scope = "project" if rule_cls.project_rule else "file"
+            print(f"{rule_id}  [{scope}]  {rule_cls.summary}")
             print(f"      {rule_cls.rationale}")
         return 0
 
@@ -81,10 +102,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"reprolint: error: {exc}", file=sys.stderr)
         return 2
 
+    if args.write_baseline:
+        write_baseline(args.write_baseline, result.findings)
+        print(
+            f"wrote {len(result.findings)} finding(s) to {args.write_baseline}"
+        )
+        return 0
+
+    if args.baseline:
+        try:
+            entries = load_baseline(args.baseline)
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"reprolint: error: {exc}", file=sys.stderr)
+            return 2
+        new, baselined, stale = apply_baseline(result.findings, entries)
+        result.findings = new
+        result.baselined = baselined
+        for entry in stale:
+            print(
+                f"reprolint: note: stale baseline entry "
+                f"{entry[0]} [{entry[1]}] no longer matches anything "
+                "(shrink the baseline)",
+                file=sys.stderr,
+            )
+
     if args.format == "json":
-        print(render_json(result))
+        report = render_json(result)
+    elif args.format == "sarif":
+        report = render_sarif(result)
     else:
-        print(render_text(result))
+        report = render_text(result)
+
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+    else:
+        print(report)
 
     if args.exit_zero:
         return 0

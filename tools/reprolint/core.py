@@ -3,8 +3,10 @@
 Rules are small classes registered with :func:`register`. Each parsed
 file becomes a :class:`FileContext` (source, AST, suppression table,
 path components); per-file rules yield :class:`Finding` objects from
-``check(ctx)``, and project rules (cross-file analyses such as R006)
-yield findings from ``check_project(ctxs)`` after every file is parsed.
+``check(ctx)``, and project rules (cross-file analyses such as R006 and
+R009-R013) yield findings from ``check_project(ctxs, project)`` after
+every file is parsed, where ``project`` is the
+:class:`~tools.reprolint.project.ProjectModel` built once per run.
 
 Suppression follows the ruff/flake8 ``noqa`` convention but with an
 explicit justification slot::
@@ -25,7 +27,21 @@ import re
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path, PurePath
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from tools.reprolint.project import ProjectModel
 
 #: Directory names never descended into (fixture trees contain
 #: deliberate violations; caches contain generated code).
@@ -145,7 +161,9 @@ class Rule:
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         return iter(())
 
-    def check_project(self, ctxs: Sequence[FileContext]) -> Iterator[Finding]:
+    def check_project(
+        self, ctxs: Sequence[FileContext], project: "ProjectModel"
+    ) -> Iterator[Finding]:
         return iter(())
 
     def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
@@ -173,7 +191,10 @@ def register(rule_cls: Type[Rule]) -> Type[Rule]:
 
 def all_rules() -> Dict[str, Type[Rule]]:
     """Return the registry (importing the built-in rules on demand)."""
-    from tools.reprolint import rules as _rules  # noqa: F401  (registers on import)
+    # Imported for their side effect of registering rules.
+    from tools.reprolint import rules as _rules  # noqa: F401
+    from tools.reprolint import units as _units  # noqa: F401
+    from tools.reprolint import wholeprogram as _wholeprogram  # noqa: F401
 
     return dict(_REGISTRY)
 
@@ -185,6 +206,12 @@ class LintResult:
     findings: List[Finding]
     files_scanned: int
     parse_errors: List[Finding] = field(default_factory=list)
+    #: findings silenced by ``# reprolint: disable`` comments
+    suppressed: List[Finding] = field(default_factory=list)
+    #: findings silenced by the baseline file (staged adoption)
+    baselined: List[Finding] = field(default_factory=list)
+    #: rule ids that actually ran in this invocation
+    rules_run: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -197,6 +224,12 @@ class LintResult:
     def counts_by_rule(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
         for finding in self.all_findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def suppressed_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.suppressed:
             counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
         return dict(sorted(counts.items()))
 
@@ -238,13 +271,21 @@ def iter_python_files(
 
 def _run_rules(
     contexts: Sequence[FileContext], rules: Sequence[Rule]
-) -> List[Finding]:
+) -> Tuple[List[Finding], List[Finding]]:
+    """Run ``rules`` over ``contexts``; return (findings, suppressed)."""
     findings: List[Finding] = []
+    suppressed: List[Finding] = []
     by_path = {ctx.path: ctx for ctx in contexts}
+    project = None
+    if any(rule.project_rule for rule in rules):
+        from tools.reprolint.project import ProjectModel
+
+        project = ProjectModel.build(contexts)
     for rule in rules:
         raw: List[Finding] = []
         if rule.project_rule:
-            raw.extend(rule.check_project(contexts))
+            assert project is not None
+            raw.extend(rule.check_project(contexts, project))
         else:
             for ctx in contexts:
                 if rule.applies_to(ctx):
@@ -254,9 +295,10 @@ def _run_rules(
             if ctx is not None and ctx.suppressions.is_suppressed(
                 finding.rule_id, finding.line
             ):
+                suppressed.append(finding)
                 continue
             findings.append(finding)
-    return sorted(findings)
+    return sorted(findings), sorted(suppressed)
 
 
 def lint_paths(
@@ -286,9 +328,13 @@ def lint_paths(
                     message=f"syntax error: {exc.msg}",
                 )
             )
-    findings = _run_rules(contexts, rules)
+    findings, suppressed = _run_rules(contexts, rules)
     return LintResult(
-        findings=findings, files_scanned=n_files, parse_errors=parse_errors
+        findings=findings,
+        files_scanned=n_files,
+        parse_errors=parse_errors,
+        suppressed=suppressed,
+        rules_run=[rule.rule_id for rule in rules],
     )
 
 
@@ -301,4 +347,5 @@ def lint_source(
     """Lint a single in-memory source string (test/API convenience)."""
     rules = _select_rules(select, ignore)
     ctx = FileContext.from_source(source, path)
-    return _run_rules([ctx], rules)
+    findings, _ = _run_rules([ctx], rules)
+    return findings

@@ -1,11 +1,26 @@
-"""Finding reporters: human-readable text and machine-readable JSON."""
+"""Finding reporters: human-readable text, stable JSON, and SARIF.
+
+The JSON document is a stable machine interface (``schema_version`` is
+bumped on any breaking shape change; see ``tests/test_reprolint.py``'s
+schema-shape test). The SARIF output targets the GitHub code-scanning
+ingestion subset of SARIF 2.1.0 so findings render as PR annotations.
+"""
 
 from __future__ import annotations
 
 import json
 from typing import Dict, List
 
-from tools.reprolint.core import LintResult
+from tools.reprolint.core import Finding, LintResult, all_rules
+
+#: Bumped on breaking changes to the JSON document shape.
+JSON_SCHEMA_VERSION = 2
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemas/sarif-schema-2.1.0.json"
+)
 
 
 def render_text(result: LintResult, verbose_summary: bool = True) -> str:
@@ -23,23 +38,118 @@ def render_text(result: LintResult, verbose_summary: bool = True) -> str:
             )
         else:
             lines.append(f"clean: 0 findings in {result.files_scanned} file(s)")
+        if result.baselined:
+            lines.append(
+                f"{len(result.baselined)} baselined finding(s) not counted "
+                "above (see .reprolint-baseline.json)"
+            )
     return "\n".join(lines)
+
+
+def _finding_dict(finding: Finding) -> Dict[str, object]:
+    return {
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "rule": finding.rule_id,
+        "message": finding.message,
+    }
 
 
 def render_json(result: LintResult) -> str:
     """Stable JSON document for CI artifacts / downstream tooling."""
+    registry = all_rules()
+    rules: Dict[str, object] = {}
+    for rule_id in result.rules_run or sorted(registry):
+        rule_cls = registry.get(rule_id)
+        if rule_cls is None:  # parse-error pseudo rules (E999)
+            continue
+        rules[rule_id] = {
+            "summary": rule_cls.summary,
+            "rationale": rule_cls.rationale,
+            "project_rule": rule_cls.project_rule,
+        }
     payload: Dict[str, object] = {
+        "schema_version": JSON_SCHEMA_VERSION,
         "files_scanned": result.files_scanned,
+        "rules": rules,
         "counts_by_rule": result.counts_by_rule(),
-        "findings": [
-            {
-                "path": finding.path,
-                "line": finding.line,
-                "col": finding.col,
-                "rule": finding.rule_id,
-                "message": finding.message,
+        "findings": [_finding_dict(finding) for finding in result.all_findings],
+        "suppressed_by_rule": result.suppressed_by_rule(),
+        "suppressed_total": len(result.suppressed),
+        "baselined": [_finding_dict(finding) for finding in result.baselined],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0 document (GitHub code-scanning ingestion subset)."""
+    registry = all_rules()
+    rule_ids = sorted(
+        set(result.rules_run or registry)
+        | {finding.rule_id for finding in result.all_findings}
+    )
+    rules: List[Dict[str, object]] = []
+    index_of: Dict[str, int] = {}
+    for rule_id in rule_ids:
+        rule_cls = registry.get(rule_id)
+        descriptor: Dict[str, object] = {"id": rule_id}
+        if rule_cls is not None:
+            descriptor["shortDescription"] = {"text": rule_cls.summary}
+            descriptor["fullDescription"] = {"text": rule_cls.rationale}
+            descriptor["help"] = {
+                "text": "See CONTRIBUTING.md, section 'reprolint rules'."
             }
-            for finding in result.all_findings
+        else:  # E999 parse errors
+            descriptor["shortDescription"] = {"text": "parse error"}
+        index_of[rule_id] = len(rules)
+        rules.append(descriptor)
+
+    def sarif_result(finding: Finding, suppressed: bool) -> Dict[str, object]:
+        entry: Dict[str, object] = {
+            "ruleId": finding.rule_id,
+            "ruleIndex": index_of.get(finding.rule_id, -1),
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }
+            ],
+        }
+        if suppressed:
+            entry["suppressions"] = [{"kind": "external"}]
+        return entry
+
+    results = [
+        sarif_result(finding, suppressed=False)
+        for finding in result.all_findings
+    ] + [
+        sarif_result(finding, suppressed=True) for finding in result.baselined
+    ]
+    payload = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
         ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -11,9 +11,12 @@ from __future__ import annotations
 
 import ast
 import re
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from tools.reprolint.core import FileContext, Finding, Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from tools.reprolint.project import ProjectModel
 
 #: Code that runs in *simulated* time: wall-clock reads and swallowed
 #: exceptions here silently corrupt replays.
@@ -361,7 +364,9 @@ class UnconsumedConfigFieldRule(Rule):
     )
     project_rule = True
 
-    def check_project(self, ctxs: Sequence[FileContext]) -> Iterator[Finding]:
+    def check_project(
+        self, ctxs: Sequence[FileContext], project: "ProjectModel"
+    ) -> Iterator[Finding]:
         accesses: Dict[str, List[Tuple[str, int]]] = {}
         for ctx in ctxs:
             for name, line in self._attribute_reads(ctx.tree):

@@ -1,0 +1,616 @@
+"""R009 — units-of-measure dataflow analysis.
+
+The simulator's quantities live in four incompatible dimension families:
+
+* **time** — virtual seconds almost everywhere (``duration``,
+  ``warmup``, ``deadline``), with an explicit scale when the name says
+  so (``_s`` / ``_ms`` suffixes);
+* **rate** — arrivals per second (``rate``, ``_qps``, ``throughput``);
+* **fraction** — dimensionless [0, 1] (``utilization``, ``_frac``);
+* **percentile** — the [0, 100] scale numpy's ``percentile`` expects.
+
+Dimensional bugs between them are the simulator's worst silent failure
+mode: adding a rate to a time, passing an inter-arrival interval where a
+rate is expected (the classic ``1/x`` inversion), mixing milliseconds
+into a seconds pipeline, or feeding ``0.99`` to a [0, 100] percentile
+API all yield plausible-looking numbers and wrong conclusions.
+
+Units are inferred from **name conventions** (suffixes ``_ms``, ``_s``,
+``_qps``, ``_frac``, ``_pct``; time words like ``latency`` / ``deadline``
+/ ``warmup``) and **annotation aliases** (``Seconds``, ``Ms``, ``Qps``,
+``Fraction``, ``Pct``), then propagated through assignments, arithmetic,
+and — via the :mod:`~tools.reprolint.project` call graph — across call
+sites into parameter names declared in other modules. Unknown units
+never produce findings: the analysis is sound-by-omission.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from tools.reprolint.core import FileContext, Finding, Rule, register
+from tools.reprolint.project import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectModel,
+    match_call_args,
+)
+
+UNIT_MS = "ms"
+UNIT_S = "s"
+UNIT_TIME = "time"  # time-valued, scale not stated by the name
+UNIT_RATE = "rate"  # events per second (QPS)
+UNIT_FRAC = "frac"  # dimensionless fraction in [0, 1]
+UNIT_PCT = "pct"  # percentile / percent on the [0, 100] scale
+UNIT_NUM = "num"  # dimensionless scalar (bare numeric constants)
+
+_TIME_FAMILY = {UNIT_MS, UNIT_S, UNIT_TIME}
+
+#: Suffix conventions, checked on the lowered name with leading
+#: underscores stripped. Order matters: first match wins.
+_SUFFIX_UNITS: Tuple[Tuple[str, str], ...] = (
+    ("_ms", UNIT_MS),
+    ("_msec", UNIT_MS),
+    ("_millis", UNIT_MS),
+    ("_qps", UNIT_RATE),
+    ("_per_s", UNIT_RATE),
+    ("_per_sec", UNIT_RATE),
+    ("_frac", UNIT_FRAC),
+    ("_fraction", UNIT_FRAC),
+    ("_pct", UNIT_PCT),
+    ("_percent", UNIT_PCT),
+    ("_seconds", UNIT_S),
+    ("_secs", UNIT_S),
+    ("_sec", UNIT_S),
+    ("_s", UNIT_S),
+)
+
+#: Words that make a name time-valued without stating the scale. The
+#: suffix regex mirrors R004's time-like vocabulary.
+_TIME_WORD_SUFFIX = re.compile(
+    r"(latency|latencies|time|times|deadline|duration|elapsed|timeout|delay"
+    r"|warmup|horizon|dwell|interarrival|overhead)$"
+)
+_TIME_EXACT = {
+    "now", "arrival", "arrivals_at", "completion", "start", "t1", "until",
+    "probe", "slo", "gap", "hedge_delay",
+}
+
+_RATE_EXACT = {
+    "rate", "mean_rate", "max_rate", "base_rate", "rate_low", "rate_high",
+    "arrival_rate", "saturation_rate", "throughput", "goodput",
+}
+
+_FRAC_EXACT = {
+    "utilization", "offered_utilization", "coverage", "mean_coverage",
+    "amplitude", "high_fraction", "remaining_fraction", "shed_rate",
+    "slo_attainment", "hedge_rate",
+}
+
+#: Annotation aliases (``x: Seconds``) that declare a unit outright.
+_ANNOTATION_UNITS = {
+    "Ms": UNIT_MS,
+    "Msec": UNIT_MS,
+    "Milliseconds": UNIT_MS,
+    "Seconds": UNIT_S,
+    "Sec": UNIT_S,
+    "Secs": UNIT_S,
+    "Qps": UNIT_RATE,
+    "Rate": UNIT_RATE,
+    "PerSecond": UNIT_RATE,
+    "Fraction": UNIT_FRAC,
+    "Frac": UNIT_FRAC,
+    "Pct": UNIT_PCT,
+    "Percent": UNIT_PCT,
+    "Percentile": UNIT_PCT,
+}
+
+#: APIs taking quantile/percentile positions, and the scale they expect.
+_PERCENTILE_100_FNS = {"percentile", "nanpercentile", "latency_percentile"}
+_QUANTILE_1_FNS = {"quantile", "nanquantile"}
+
+#: Single-argument wrappers that preserve their argument's unit.
+_UNIT_PRESERVING_FNS = {"float", "int", "abs", "round", "exponential"}
+#: Variadic selectors: result takes the (compatible) operands' unit.
+_UNIT_SELECTING_FNS = {"min", "max"}
+
+
+def classify_name(name: Optional[str]) -> Optional[str]:
+    """Unit implied by a bare identifier, or None."""
+    if not name:
+        return None
+    lowered = name.lower().lstrip("_")
+    for suffix, unit in _SUFFIX_UNITS:
+        if lowered.endswith(suffix):
+            return unit
+    if lowered in _RATE_EXACT:
+        return UNIT_RATE
+    if lowered in _FRAC_EXACT:
+        return UNIT_FRAC
+    if lowered in _TIME_EXACT or _TIME_WORD_SUFFIX.search(lowered):
+        return UNIT_TIME
+    return None
+
+
+def annotation_unit(annotation: Optional[ast.expr]) -> Optional[str]:
+    """Unit declared by an annotation alias (``Seconds``, ``Qps``, …)."""
+    if annotation is None:
+        return None
+    node = annotation
+    if isinstance(node, ast.Subscript):  # Optional[Seconds], Final[Ms]
+        head = node.value
+        head_name = getattr(head, "id", getattr(head, "attr", None))
+        if head_name in {"Optional", "Final", "Annotated", "ClassVar"}:
+            inner = node.slice
+            if isinstance(inner, ast.Tuple) and inner.elts:
+                inner = inner.elts[0]
+            node = inner if isinstance(inner, ast.expr) else node
+    name = getattr(node, "id", getattr(node, "attr", None))
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        name = node.value
+    if name is None:
+        return None
+    return _ANNOTATION_UNITS.get(name)
+
+
+def _family(unit: str) -> str:
+    return UNIT_TIME if unit in _TIME_FAMILY else unit
+
+
+def incompatible(a: Optional[str], b: Optional[str]) -> bool:
+    """True when both units are known, dimensioned, and cannot mix."""
+    if a is None or b is None or UNIT_NUM in (a, b):
+        return False
+    if _family(a) != _family(b):
+        return True
+    # Same family: only the explicit ms/s scale clash is an error;
+    # generic "time" is compatible with either scale.
+    return {a, b} == {UNIT_MS, UNIT_S}
+
+
+def describe(unit: Optional[str]) -> str:
+    return {
+        UNIT_MS: "milliseconds",
+        UNIT_S: "seconds",
+        UNIT_TIME: "time",
+        UNIT_RATE: "rate (per-second)",
+        UNIT_FRAC: "fraction [0,1]",
+        UNIT_PCT: "percentile [0,100]",
+        UNIT_NUM: "dimensionless",
+    }.get(unit or "", "unknown")
+
+
+def _terminal(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class _ScopeChecker:
+    """Infers units through one function (or module) body, in statement
+    order, collecting findings as it goes."""
+
+    def __init__(
+        self,
+        rule: "UnitsDataflowRule",
+        ctx: FileContext,
+        module: ModuleInfo,
+        project: ProjectModel,
+        env: Dict[str, str],
+        local_types: Optional[Dict[str, ClassInfo]] = None,
+        current_class: Optional[ClassInfo] = None,
+    ) -> None:
+        self.rule = rule
+        self.ctx = ctx
+        self.module = module
+        self.project = project
+        self.env = env
+        self.local_types = local_types or {}
+        self.current_class = current_class
+        self.findings: List[Finding] = []
+
+    # -- statement walk ------------------------------------------------
+
+    def run(self, body: Sequence[ast.stmt]) -> List[Finding]:
+        for statement in body:
+            self._statement(statement)
+        return self.findings
+
+    def _statement(self, node: ast.stmt) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes are checked separately
+        if isinstance(node, ast.Assign):
+            value_unit = self.infer(node.value)
+            for target in node.targets:
+                self._check_bind(target, value_unit, node)
+        elif isinstance(node, ast.AnnAssign):
+            declared = annotation_unit(node.annotation)
+            if node.value is not None:
+                value_unit = self.infer(node.value)
+                self._check_bind(node.target, value_unit, node, declared)
+            elif isinstance(node.target, ast.Name) and declared is not None:
+                self.env[node.target.id] = declared
+        elif isinstance(node, ast.AugAssign):
+            value_unit = self.infer(node.value)
+            if isinstance(node.op, (ast.Add, ast.Sub)):
+                target_unit = self._target_unit(node.target)
+                if incompatible(target_unit, value_unit):
+                    self._emit_mix(node, target_unit, value_unit, "augmented assignment")
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                self.infer(node.value)
+        elif isinstance(node, ast.Expr):
+            self.infer(node.value)
+        elif isinstance(node, (ast.If, ast.While)):
+            self.infer(node.test)
+            self.run(node.body)
+            self.run(node.orelse)
+        elif isinstance(node, ast.For):
+            self.infer(node.iter)
+            self.run(node.body)
+            self.run(node.orelse)
+        elif isinstance(node, ast.With):
+            for item in node.items:
+                self.infer(item.context_expr)
+            self.run(node.body)
+        elif isinstance(node, ast.Try):
+            self.run(node.body)
+            for handler in node.handlers:
+                self.run(handler.body)
+            self.run(node.orelse)
+            self.run(node.finalbody)
+        elif isinstance(node, ast.Assert):
+            self.infer(node.test)
+        elif isinstance(node, (ast.Raise, ast.Delete)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self.infer(child)
+
+    def _target_unit(self, target: ast.expr) -> Optional[str]:
+        if isinstance(target, ast.Name):
+            return self.env.get(target.id) or classify_name(target.id)
+        return classify_name(_terminal(target))
+
+    def _check_bind(
+        self,
+        target: ast.expr,
+        value_unit: Optional[str],
+        node: ast.stmt,
+        declared: Optional[str] = None,
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            return  # unpacking: give up on the pieces
+        name_unit = declared or classify_name(_terminal(target))
+        if incompatible(name_unit, value_unit):
+            label = _terminal(target) or "<target>"
+            self.findings.append(
+                self.rule.finding(
+                    self.ctx, node,
+                    f"assigning a {describe(value_unit)} expression to "
+                    f"{describe(name_unit)}-named '{label}'",
+                )
+            )
+        if isinstance(target, ast.Name):
+            resolved = value_unit if value_unit not in (None, UNIT_NUM) else name_unit
+            if resolved is not None:
+                self.env[target.id] = resolved
+
+    # -- expression inference ------------------------------------------
+
+    def infer(self, node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool) or not isinstance(
+                node.value, (int, float)
+            ):
+                return None
+            return UNIT_NUM
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id) or classify_name(node.id)
+        if isinstance(node, ast.Attribute):
+            self.infer(node.value)
+            return classify_name(node.attr)
+        if isinstance(node, ast.UnaryOp):
+            return self.infer(node.operand)
+        if isinstance(node, ast.BinOp):
+            return self._binop(node)
+        if isinstance(node, ast.Compare):
+            self._compare(node)
+            return None
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.IfExp):
+            self.infer(node.test)
+            body = self.infer(node.body)
+            orelse = self.infer(node.orelse)
+            return body if body not in (None, UNIT_NUM) else orelse
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self.infer(value)
+            return None
+        # Containers, subscripts, f-strings, comprehensions, lambdas:
+        # no unit, but nested arithmetic still gets checked.
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.infer(child)
+            elif isinstance(child, ast.comprehension):
+                self.infer(child.iter)
+                for condition in child.ifs:
+                    self.infer(condition)
+        return None
+
+    def _binop(self, node: ast.BinOp) -> Optional[str]:
+        left = self.infer(node.left)
+        right = self.infer(node.right)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if incompatible(left, right):
+                kind = "+" if isinstance(node.op, ast.Add) else "-"
+                self._emit_mix(node, left, right, f"'{kind}'")
+            if left not in (None, UNIT_NUM):
+                return left
+            return right
+        if isinstance(node.op, ast.Mult):
+            return self._multiply(left, right)
+        if isinstance(node.op, ast.Div):
+            return self._divide(node, left, right)
+        return None
+
+    @staticmethod
+    def _multiply(left: Optional[str], right: Optional[str]) -> Optional[str]:
+        for a, b in ((left, right), (right, left)):
+            if a == UNIT_FRAC:
+                # fraction x X keeps X's unit AND scale (0.5 * dur_s is
+                # still seconds).
+                return b if b not in (None, UNIT_NUM) else a
+            if a in (None, UNIT_NUM):
+                # scalar x time may be a unit CONVERSION (x_s * 1000.0):
+                # the family survives but the ms/s scale does not.
+                if b in (UNIT_MS, UNIT_S):
+                    return UNIT_TIME
+                return b if b not in (None, UNIT_NUM) else a
+        if {_family(left or ""), _family(right or "")} == {UNIT_TIME, UNIT_RATE}:
+            return UNIT_NUM  # rate x time = a count
+        return None
+
+    def _divide(
+        self, node: ast.BinOp, left: Optional[str], right: Optional[str]
+    ) -> Optional[str]:
+        if left in _TIME_FAMILY and right in _TIME_FAMILY:
+            if incompatible(left, right):
+                self._emit_mix(node, left, right, "'/'")
+            return UNIT_FRAC
+        if right in (UNIT_NUM, UNIT_FRAC, None) and left is not None:
+            if right != UNIT_FRAC and left in (UNIT_MS, UNIT_S):
+                return UNIT_TIME  # scalar division may rescale (x_ms / 1e3)
+            return left if left != UNIT_NUM else None
+        if right == UNIT_RATE and left in (UNIT_NUM, None):
+            return UNIT_S  # 1 / rate = inter-arrival interval (seconds)
+        if right in (UNIT_S, UNIT_TIME) and left in (UNIT_NUM, None):
+            return UNIT_RATE  # count / window = per-second rate
+        if left == UNIT_RATE and right == UNIT_RATE:
+            return UNIT_FRAC
+        return None
+
+    def _compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        units = [self.infer(operand) for operand in operands]
+        for index in range(len(node.ops)):
+            a, b = units[index], units[index + 1]
+            if incompatible(a, b):
+                self._emit_mix(node, a, b, "comparison")
+
+    def _call(self, node: ast.Call) -> Optional[str]:
+        # Infer every argument exactly once (re-inferring would duplicate
+        # findings from violating subexpressions) and share the results
+        # with the callee-parameter check below.
+        units_by_arg: Dict[int, Optional[str]] = {}
+        for arg in node.args:
+            units_by_arg[id(arg)] = self.infer(arg)
+        for keyword in node.keywords:
+            units_by_arg[id(keyword.value)] = self.infer(keyword.value)
+        name = _terminal(node.func)
+        self._check_percentile_scale(node, name)
+        self._check_callee_params(node, units_by_arg)
+        if name in _UNIT_PRESERVING_FNS and node.args:
+            return units_by_arg[id(node.args[0])]
+        if name in _UNIT_SELECTING_FNS and node.args:
+            known = [
+                u
+                for u in (units_by_arg[id(arg)] for arg in node.args)
+                if u not in (None, UNIT_NUM)
+            ]
+            for index in range(1, len(known)):
+                if incompatible(known[0], known[index]):
+                    self._emit_mix(node, known[0], known[index], f"'{name}(...)'")
+            return known[0] if known else None
+        return classify_name(name)
+
+    def _check_percentile_scale(self, node: ast.Call, name: Optional[str]) -> None:
+        """Constant quantile positions must match the callee's scale."""
+        if name in _PERCENTILE_100_FNS:
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if (
+                    isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, (int, float))
+                    and not isinstance(arg.value, bool)
+                    and 0 < arg.value < 1
+                ):
+                    self.findings.append(
+                        self.rule.finding(
+                            self.ctx, node,
+                            f"'{name}' expects percentiles on the [0, 100] "
+                            f"scale but got {arg.value} — a [0, 1] quantile "
+                            "(p99 is 99, not 0.99)",
+                        )
+                    )
+        elif name in _QUANTILE_1_FNS:
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if (
+                    isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, (int, float))
+                    and not isinstance(arg.value, bool)
+                    and arg.value > 1
+                ):
+                    self.findings.append(
+                        self.rule.finding(
+                            self.ctx, node,
+                            f"'{name}' expects quantiles on the [0, 1] scale "
+                            f"but got {arg.value} (p99 is 0.99 here, not 99)",
+                        )
+                    )
+
+    def _check_callee_params(
+        self, node: ast.Call, units_by_arg: Dict[int, Optional[str]]
+    ) -> None:
+        """Cross-module check: argument units vs the callee's declared
+        parameter units (annotation alias, else parameter name)."""
+        callee = self.project.resolve_call(
+            self.module, node, self.local_types, self.current_class
+        )
+        if callee is None:
+            return
+        for param, arg in match_call_args(callee, node):
+            param_unit = annotation_unit(param.annotation) or classify_name(param.arg)
+            if param_unit is None:
+                continue
+            arg_unit = units_by_arg.get(id(arg))
+            if not incompatible(param_unit, arg_unit):
+                continue
+            families = {_family(param_unit), _family(arg_unit or "")}
+            if families == {UNIT_TIME, UNIT_RATE}:
+                detail = (
+                    "rate-vs-interval inversion — did you mean "
+                    "'1.0 / x'?"
+                )
+            elif {param_unit, arg_unit} == {UNIT_MS, UNIT_S}:
+                detail = "ms/s scale mismatch"
+            else:
+                detail = "dimension mismatch"
+            self.findings.append(
+                self.rule.finding(
+                    self.ctx, node,
+                    f"argument for parameter '{param.arg}' of "
+                    f"'{callee.qualname}' ({callee.module.name}) is "
+                    f"{describe(arg_unit)} but the parameter is "
+                    f"{describe(param_unit)}: {detail}",
+                )
+            )
+
+    def _emit_mix(
+        self,
+        node: ast.AST,
+        left: Optional[str],
+        right: Optional[str],
+        where: str,
+    ) -> None:
+        self.findings.append(
+            self.rule.finding(
+                self.ctx, node,
+                f"mixing {describe(left)} with {describe(right)} in {where}",
+            )
+        )
+
+
+@register
+class UnitsDataflowRule(Rule):
+    """R009 — dimensional coherence of time / rate / fraction / percentile."""
+
+    rule_id = "R009"
+    summary = "units-of-measure dataflow (time vs rate vs fraction vs percentile)"
+    rationale = (
+        "Arrival rates, virtual-time latencies, utilization fractions and "
+        "percentile positions are all bare floats; mixing them (ms into a "
+        "seconds pipeline, a rate where an interval is expected, 0.99 "
+        "into a [0,100] percentile API) produces plausible-looking wrong "
+        "numbers. Units are inferred from name suffixes (_ms, _s, _qps, "
+        "_frac, _pct), unit vocabulary, and annotation aliases, then "
+        "checked through assignments, arithmetic, and cross-module calls."
+    )
+    project_rule = True
+
+    def check_project(
+        self, ctxs: Sequence[FileContext], project: ProjectModel
+    ) -> Iterator[Finding]:
+        for ctx in ctxs:
+            module = project.by_path.get(ctx.path)
+            if module is None:  # pragma: no cover - defensive
+                continue
+            # Module-level statements.
+            checker = _ScopeChecker(self, ctx, module, project, env={})
+            yield from checker.run(
+                [
+                    statement
+                    for statement in ctx.tree.body
+                    if not isinstance(
+                        statement,
+                        (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                    )
+                ]
+            )
+            yield from self._check_functions(ctx, module, project)
+
+    def _check_functions(
+        self, ctx: FileContext, module: ModuleInfo, project: ProjectModel
+    ) -> Iterator[Finding]:
+        for node, owner in self._iter_scopes(ctx.tree, module):
+            info = self._lookup(module, node, owner)
+            env: Dict[str, str] = {}
+            for arg in self._all_args(node):
+                unit = annotation_unit(arg.annotation) or classify_name(arg.arg)
+                if unit is not None:
+                    env[arg.arg] = unit
+            local_types = project.infer_local_types(info, owner) if info else {}
+            checker = _ScopeChecker(
+                self, ctx, module, project, env, local_types, owner
+            )
+            yield from checker.run(node.body)
+
+    @staticmethod
+    def _iter_scopes(
+        tree: ast.Module, module: ModuleInfo
+    ) -> Iterator[Tuple[ast.AST, Optional[ClassInfo]]]:
+        """Every function scope with the class whose ``self`` is visible
+        in it (methods and their nested closures)."""
+
+        def visit(
+            node: ast.AST, owner: Optional[ClassInfo]
+        ) -> Iterator[Tuple[ast.AST, Optional[ClassInfo]]]:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield child, owner
+                    yield from visit(child, owner)
+                elif isinstance(child, ast.ClassDef):
+                    info = module.classes.get(child.name) if node is tree else None
+                    yield from visit(child, info)
+                else:
+                    yield from visit(child, owner)
+
+        yield from visit(tree, None)
+
+    @staticmethod
+    def _lookup(
+        module: ModuleInfo, node: ast.AST, owner: Optional[ClassInfo]
+    ) -> Optional[FunctionInfo]:
+        name = getattr(node, "name", None)
+        if owner is not None:
+            found = owner.methods.get(name or "")
+        else:
+            found = module.functions.get(name or "")
+        if found is not None and found.node is node:
+            return found
+        return None
+
+    @staticmethod
+    def _all_args(node: ast.AST) -> List[ast.arg]:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        args = node.args
+        return (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + [a for a in (args.vararg, args.kwarg) if a is not None]
+        )

@@ -1,0 +1,907 @@
+"""Whole-program rules R010-R013 (RNG streams, configs, threads, registry).
+
+All four are project rules over the :class:`~tools.reprolint.project.
+ProjectModel`:
+
+* **R010** — two call sites deriving the *same* named RNG stream from
+  the same factory get bit-identical generators: the components are
+  silently correlated. Factory values are tracked through assignments,
+  ``child()`` derivations, and cross-module calls.
+* **R011** — typed strengthening of R006: a ``*Config`` field only
+  counts as consumed when a receiver *of that config class* (or an
+  untyped receiver) reads it. A name-coincidence read on a different
+  class no longer masks a dead knob.
+* **R012** — mutable state reachable from thread-pool worker callables
+  must be written under a lock (``with <obj>.<lock>:``); the worker →
+  callee closure is computed over the project call graph.
+* **R013** — every module under ``experiments/`` that defines an
+  ``EXPERIMENT_ID`` must be registered in ``harness/registry.py``'s
+  ``_MODULES`` tuple, ids must be unique, and registered modules must
+  exist with a ``run`` entry point. A dead experiment silently drops a
+  headline result from ``--all`` runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from tools.reprolint.core import FileContext, Finding, Rule, register
+from tools.reprolint.project import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectModel,
+    match_call_args,
+)
+
+_FACTORY_CONSTRUCTORS = {"RngFactory"}
+_STREAM_METHODS = {"stream", "child"}
+
+Label = Tuple[object, ...]
+Token = Tuple[str, Label]  # (factory origin, child-label prefix)
+
+
+def _terminal(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _const_labels(call: ast.Call) -> Optional[Label]:
+    """The call's label path if every argument is a literal, else None."""
+    if call.keywords:
+        return None
+    labels: List[object] = []
+    for arg in call.args:
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, (str, int)):
+            labels.append(arg.value)
+        else:
+            return None
+    return tuple(labels)
+
+
+class _StreamUse:
+    """One ``factory.stream(...)`` / ``factory.child(...)`` call site."""
+
+    __slots__ = ("token", "method", "labels", "ctx", "node", "in_loop")
+
+    def __init__(
+        self,
+        token: Token,
+        method: str,
+        labels: Label,
+        ctx: FileContext,
+        node: ast.Call,
+        in_loop: bool,
+    ) -> None:
+        self.token = token
+        self.method = method
+        self.labels = labels
+        self.ctx = ctx
+        self.node = node
+        self.in_loop = in_loop
+
+
+@register
+class RngStreamCollisionRule(Rule):
+    """R010 — no two call sites may derive the same RNG stream label path."""
+
+    rule_id = "R010"
+    summary = "no colliding RngFactory stream/child label paths"
+    rationale = (
+        "RngFactory.stream('x') is deterministic in its label: two call "
+        "sites requesting the same label from the same factory receive "
+        "bit-identical generators, silently correlating components that "
+        "should be independent (the exact bug class hash-derived streams "
+        "were introduced to prevent). Each component must use a distinct "
+        "label; deliberate replay of a stream needs a suppression."
+    )
+    project_rule = True
+
+    def check_project(
+        self, ctxs: Sequence[FileContext], project: ProjectModel
+    ) -> Iterator[Finding]:
+        uses: List[_StreamUse] = []
+        #: (qualname, frozenset of param->token) already analyzed
+        visited: Set[Tuple[str, frozenset]] = set()
+        pending: List[Tuple[FunctionInfo, Dict[str, Token]]] = []
+
+        def analyze_scope(
+            ctx: FileContext,
+            module: ModuleInfo,
+            body: Sequence[ast.stmt],
+            env: Dict[str, Token],
+            scope_key: str,
+            owner: Optional[ClassInfo],
+            info: Optional[FunctionInfo],
+        ) -> None:
+            local_types = (
+                project.infer_local_types(info, owner) if info is not None else {}
+            )
+
+            def token_of(expr: ast.expr) -> Optional[Token]:
+                if isinstance(expr, ast.Name):
+                    return env.get(expr.id)
+                if isinstance(expr, ast.Call):
+                    name = _terminal(expr.func)
+                    if name in _FACTORY_CONSTRUCTORS:
+                        # Identity: the seed expression within this scope
+                        # (two RngFactory(cfg.seed) in one scope are the
+                        # SAME root), falling back to the call site.
+                        seed_dump = "|".join(
+                            ast.dump(a) for a in list(expr.args)
+                        ) or f"line{expr.lineno}"
+                        return (f"{scope_key}::{seed_dump}", ())
+                    if (
+                        name == "child"
+                        and isinstance(expr.func, ast.Attribute)
+                    ):
+                        base = token_of(expr.func.value)
+                        labels = _const_labels(expr)
+                        if base is not None and labels is not None:
+                            return (base[0], base[1] + labels)
+                return None
+
+            def walk(statements: Sequence[ast.stmt], in_loop: bool) -> None:
+                for statement in statements:
+                    if isinstance(
+                        statement,
+                        (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                    ):
+                        continue
+                    for node in ast.walk(statement):
+                        if isinstance(
+                            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                        ):
+                            break
+                        if isinstance(node, ast.Call):
+                            self._visit_call(
+                                node, env, token_of, uses, ctx, in_loop,
+                                project, module, local_types, owner,
+                                pending,
+                            )
+                    if isinstance(statement, ast.Assign) and len(
+                        statement.targets
+                    ) == 1:
+                        target = statement.targets[0]
+                        token = token_of(statement.value)
+                        if isinstance(target, ast.Name):
+                            if token is not None:
+                                env[target.id] = token
+                            elif target.id in env:
+                                del env[target.id]
+                    elif isinstance(statement, (ast.For, ast.While)):
+                        walk(statement.body, True)
+                        walk(statement.orelse, in_loop)
+                    elif isinstance(statement, ast.If):
+                        walk(statement.body, in_loop)
+                        walk(statement.orelse, in_loop)
+                    elif isinstance(statement, (ast.With, ast.Try)):
+                        for field_name in ("body", "orelse", "finalbody"):
+                            walk(getattr(statement, field_name, []) or [], in_loop)
+                        for handler in getattr(statement, "handlers", []):
+                            walk(handler.body, in_loop)
+
+            walk(body, False)
+
+        # Seed: every function and the module level of every file.
+        for ctx in ctxs:
+            module = project.by_path.get(ctx.path)
+            if module is None:  # pragma: no cover - defensive
+                continue
+            analyze_scope(
+                ctx, module, ctx.tree.body, {}, f"{ctx.path}:<module>", None, None
+            )
+            for fn, owner in self._module_functions(module):
+                analyze_scope(
+                    ctx, module, list(fn.node.body), {},  # type: ignore[attr-defined]
+                    f"{ctx.path}:{fn.qualname}", owner, fn,
+                )
+
+        # Cross-module propagation: factories passed into callees.
+        while pending:
+            fn, bindings = pending.pop()
+            if not isinstance(fn.node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # synthetic dataclass constructor: no body
+            key = (f"{fn.module.name}.{fn.qualname}", frozenset(bindings.items()))
+            if key in visited:
+                continue
+            visited.add(key)
+            owner = None
+            if fn.is_method:
+                class_name = fn.qualname.split(".")[0]
+                owner = fn.module.classes.get(class_name)
+            analyze_scope(
+                fn.module.ctx, fn.module, list(fn.node.body),  # type: ignore[attr-defined]
+                dict(bindings),
+                f"{fn.path}:{fn.qualname}", owner, fn,
+            )
+
+        yield from self._collisions(uses)
+
+    @staticmethod
+    def _module_functions(
+        module: ModuleInfo,
+    ) -> Iterator[Tuple[FunctionInfo, Optional[ClassInfo]]]:
+        for fn in module.functions.values():
+            yield fn, None
+        for cls_info in module.classes.values():
+            for fn in cls_info.methods.values():
+                yield fn, cls_info
+
+    def _visit_call(
+        self,
+        node: ast.Call,
+        env: Dict[str, Token],
+        token_of,
+        uses: List[_StreamUse],
+        ctx: FileContext,
+        in_loop: bool,
+        project: ProjectModel,
+        module: ModuleInfo,
+        local_types: Dict[str, ClassInfo],
+        owner: Optional[ClassInfo],
+        pending: List[Tuple[FunctionInfo, Dict[str, Token]]],
+    ) -> None:
+        # stream() usage on a tracked factory. child() calls are not
+        # recorded as uses — identical child factories surface as
+        # colliding tokens at the stream() calls they feed, so reporting
+        # the derivation too would double-count every collision.
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _STREAM_METHODS
+        ):
+            if node.func.attr == "stream":
+                token = token_of(node.func.value)
+                labels = _const_labels(node)
+                if token is not None and labels is not None:
+                    uses.append(
+                        _StreamUse(token, "stream", labels, ctx, node, in_loop)
+                    )
+            return
+        # A tracked factory passed to a project function: follow it.
+        factory_args = [
+            (index, arg)
+            for index, arg in enumerate(node.args)
+            if isinstance(arg, ast.Name) and arg.id in env
+        ] + [
+            (kw.arg, kw.value)
+            for kw in node.keywords
+            if isinstance(kw.value, ast.Name) and kw.value.id in env
+        ]
+        if not factory_args:
+            return
+        callee = project.resolve_call(module, node, local_types, owner)
+        if callee is None:
+            return
+        bindings: Dict[str, Token] = {}
+        for param, arg in match_call_args(callee, node):
+            if isinstance(arg, ast.Name) and arg.id in env:
+                bindings[param.arg] = env[arg.id]
+        if bindings:
+            pending.append((callee, bindings))
+
+    def _collisions(self, uses: Sequence[_StreamUse]) -> Iterator[Finding]:
+        grouped: Dict[Tuple[Token, str, Label], List[_StreamUse]] = {}
+        for use in uses:
+            grouped.setdefault((use.token, use.method, use.labels), []).append(use)
+        emitted: Set[Tuple[str, int, str]] = set()
+        for (token, method, labels), group in grouped.items():
+            label_text = "/".join(str(piece) for piece in labels)
+            sites = sorted(
+                {(use.ctx.path, use.node.lineno) for use in group}
+            )
+            for use in group:
+                site = (use.ctx.path, use.node.lineno, label_text)
+                if site in emitted:
+                    continue
+                if use.in_loop:
+                    emitted.add(site)
+                    yield self.finding(
+                        use.ctx, use.node,
+                        f"'{method}(\"{label_text}\")' with a constant label "
+                        "inside a loop derives the SAME stream every "
+                        "iteration; include the loop variable in the label",
+                    )
+                    continue
+                if len(sites) > 1:
+                    emitted.add(site)
+                    others = ", ".join(
+                        f"{path}:{line}"
+                        for path, line in sites
+                        if (path, line) != (use.ctx.path, use.node.lineno)
+                    )
+                    yield self.finding(
+                        use.ctx, use.node,
+                        f"stream label path '{label_text}' is derived from "
+                        f"the same factory at multiple call sites (also "
+                        f"{others}); the streams are bit-identical — use "
+                        "distinct labels, or suppress if replay is intended",
+                    )
+
+
+@register
+class TypedConfigConsumptionRule(Rule):
+    """R011 — config fields must be consumed via *their own* class."""
+
+    rule_id = "R011"
+    summary = "config fields consumed through typed receivers (cross-module)"
+    rationale = (
+        "R006 treats any attribute read of a matching NAME as consumption, "
+        "so FooConfig.rate looks alive whenever any other class has a "
+        ".rate. R011 resolves receiver types through annotations and "
+        "constructor calls across modules: only reads through the config's "
+        "own class (or an untracked receiver) count, catching dead knobs "
+        "that name coincidences hide — and fields consumed in another "
+        "module no longer need whole-file suppressions."
+    )
+    project_rule = True
+
+    def check_project(
+        self, ctxs: Sequence[FileContext], project: ProjectModel
+    ) -> Iterator[Finding]:
+        typed_reads: Set[Tuple[str, str]] = set()  # (class name, attr)
+        untyped_read_names: Set[str] = set()
+
+        for ctx in ctxs:
+            module = project.by_path.get(ctx.path)
+            if module is None:  # pragma: no cover - defensive
+                continue
+            for roots, local_types, owner in self._scopes(module, project):
+                for root in roots:
+                    for node in ast.walk(root):
+                        if isinstance(node, ast.Attribute):
+                            receiver = project.receiver_class(
+                                node.value, module, local_types, owner
+                            )
+                            if receiver is not None:
+                                typed_reads.add((receiver.name, node.attr))
+                            else:
+                                untyped_read_names.add(node.attr)
+                        elif isinstance(node, ast.Call):
+                            terminal = _terminal(node.func)
+                            if (
+                                terminal in {"getattr", "hasattr", "setattr"}
+                                and len(node.args) >= 2
+                            ):
+                                arg = node.args[1]
+                                if isinstance(arg, ast.Constant) and isinstance(
+                                    arg.value, str
+                                ):
+                                    untyped_read_names.add(arg.value)
+
+        for ctx in ctxs:
+            module = project.by_path.get(ctx.path)
+            if module is None:  # pragma: no cover - defensive
+                continue
+            for cls_info in module.classes.values():
+                if not cls_info.name.endswith("Config"):
+                    continue
+                if not cls_info.is_dataclass:
+                    continue
+                for field_name, (field_node, _) in cls_info.fields.items():
+                    if self._annotation_is_classvar(field_node):
+                        continue
+                    if (cls_info.name, field_name) in typed_reads:
+                        continue
+                    # An untyped read is still consumption — R011 only
+                    # sharpens the cases where the receiver IS resolvable.
+                    if field_name in untyped_read_names:
+                        continue
+                    yield self.finding(
+                        ctx, field_node,
+                        f"field '{field_name}' of {cls_info.name} is "
+                        "never read through a receiver of its own type "
+                        "(name-matching reads all resolve to other "
+                        "classes); wire it up, delete it, or whitelist "
+                        "with '# reprolint: disable=R011 -- <why>'",
+                    )
+
+    @staticmethod
+    def _scopes(
+        module: ModuleInfo, project: ProjectModel
+    ) -> Iterator[
+        Tuple[Sequence[ast.AST], Dict[str, ClassInfo], Optional[ClassInfo]]
+    ]:
+        """(root nodes, local types, owner) triples covering the module:
+        top-level statements, then each function/method with its inferred
+        locals (nested closures ride along with the enclosing scope)."""
+        top_level = [
+            statement
+            for statement in module.ctx.tree.body
+            if not isinstance(
+                statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            )
+        ]
+        yield top_level, {}, None
+        for fn in module.functions.values():
+            yield [fn.node], project.infer_local_types(fn, None), None
+        for cls_info in module.classes.values():
+            for fn in cls_info.methods.values():
+                yield (
+                    [fn.node],
+                    project.infer_local_types(fn, cls_info),
+                    cls_info,
+                )
+
+    @staticmethod
+    def _annotation_is_classvar(node: ast.AnnAssign) -> bool:
+        annotation = node.annotation
+        head = annotation.value if isinstance(annotation, ast.Subscript) else annotation
+        return getattr(head, "id", getattr(head, "attr", None)) == "ClassVar"
+
+
+_MUTATOR_METHODS = {
+    "append", "appendleft", "add", "update", "extend", "insert", "pop",
+    "popleft", "remove", "discard", "clear", "setdefault", "offer",
+    "offer_many", "push", "record_matches",
+}
+_LOCK_WORDS = ("lock", "mutex", "guard")
+
+
+@register
+class ThreadSafetyRule(Rule):
+    """R012 — shared state written from worker threads must hold a lock."""
+
+    rule_id = "R012"
+    summary = "no unlocked writes to shared state in thread-reachable code"
+    rationale = (
+        "The real-thread executor exists to prove the engine's claim/merge "
+        "protocol is a working concurrent algorithm. Any mutable state "
+        "reachable from a worker callable (via the project call graph) "
+        "that is written outside a 'with <lock>:' block is a data race "
+        "the virtual-time executor can never exhibit — it only shows up "
+        "as rare, irreproducible validation failures."
+    )
+    project_rule = True
+
+    #: one work item: (scope node, module, owner class, spawn site,
+    #: inherited local types — the enclosing scope's for closures)
+    _Item = Tuple[
+        ast.AST, ModuleInfo, Optional[ClassInfo], str, Dict[str, ClassInfo]
+    ]
+
+    def check_project(
+        self, ctxs: Sequence[FileContext], project: ProjectModel
+    ) -> Iterator[Finding]:
+        # 1. Find worker entry points: f in pool.submit(f, ...),
+        #    Thread(target=f), executor.map(f, xs). A nested worker
+        #    closure inherits the spawning function's local types so its
+        #    closed-over variables (shared state!) stay resolvable.
+        entries: List[ThreadSafetyRule._Item] = []
+        for ctx in ctxs:
+            module = project.by_path.get(ctx.path)
+            if module is None:  # pragma: no cover - defensive
+                continue
+            for fn, owner in self._all_functions(module):
+                nested = {
+                    child.name: child
+                    for child in ast.walk(fn.node)
+                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and child is not fn.node
+                }
+                local_types = project.infer_local_types(fn, owner)
+                for node in ast.walk(fn.node):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    worker = self._worker_ref(node)
+                    if worker is None:
+                        continue
+                    spawn_site = f"{ctx.path}:{node.lineno}"
+                    if worker in nested:
+                        entries.append(
+                            (nested[worker], module, owner, spawn_site, local_types)
+                        )
+                        continue
+                    resolved = project.resolve_function(module, worker)
+                    if resolved is not None:
+                        entries.append(
+                            (resolved.node, resolved.module, None, spawn_site, {})
+                        )
+
+        # 2. BFS the call graph from the entry points. Calls made while
+        #    holding a lock are NOT followed: the callee runs under the
+        #    caller's lock, so its writes are protected (single-lock
+        #    discipline, which is what this codebase uses).
+        reachable: List[ThreadSafetyRule._Item] = []
+        seen: Set[int] = set()
+        queue = list(entries)
+        while queue:
+            item = queue.pop()
+            node = item[0]
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            reachable.append(item)
+            queue.extend(self._unlocked_callees(item, project))
+
+        # 3. Flag unlocked writes to shared state in reachable scopes.
+        emitted: Set[Tuple[str, int]] = set()
+        for node, module, owner, spawn_site, _ in reachable:
+            for finding in self._check_scope(node, module, spawn_site):
+                key = (finding.path, finding.line)
+                if key not in emitted:
+                    emitted.add(key)
+                    yield finding
+
+    @staticmethod
+    def _all_functions(
+        module: ModuleInfo,
+    ) -> Iterator[Tuple[FunctionInfo, Optional[ClassInfo]]]:
+        for fn in module.functions.values():
+            yield fn, None
+        for cls_info in module.classes.values():
+            for fn in cls_info.methods.values():
+                yield fn, cls_info
+
+    @staticmethod
+    def _worker_ref(node: ast.Call) -> Optional[str]:
+        """Name of the callable handed to a thread-spawning call."""
+        terminal = _terminal(node.func)
+        if terminal == "submit" and node.args:
+            first = node.args[0]
+            if isinstance(first, ast.Name):
+                return first.id
+        if terminal == "Thread":
+            for keyword in node.keywords:
+                if keyword.arg == "target" and isinstance(
+                    keyword.value, ast.Name
+                ):
+                    return keyword.value.id
+        if terminal == "map" and isinstance(node.func, ast.Attribute):
+            base = _terminal(node.func.value)
+            if base in {"pool", "executor"} and node.args:
+                first = node.args[0]
+                if isinstance(first, ast.Name):
+                    return first.id
+        return None
+
+    def _unlocked_callees(
+        self, item: "ThreadSafetyRule._Item", project: ProjectModel
+    ) -> List["ThreadSafetyRule._Item"]:
+        """Project functions called from ``item``'s scope outside any
+        ``with <lock>:`` block."""
+        scope, module, owner, spawn_site, inherited = item
+        info = self._info_for(scope, module, owner)
+        local_types = dict(inherited)
+        if info is not None:
+            local_types.update(project.infer_local_types(info, owner))
+
+        calls: List[ast.Call] = []
+
+        def collect(node: ast.AST) -> None:
+            if isinstance(node, ast.With) and any(
+                self._is_lock(with_item.context_expr)
+                for with_item in node.items
+            ):
+                return  # callee runs under the caller's lock: protected
+            if isinstance(node, ast.Call):
+                calls.append(node)
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ) and child is not node:
+                    continue
+                collect(child)
+
+        for statement in getattr(scope, "body", []):
+            collect(statement)
+
+        out: List[ThreadSafetyRule._Item] = []
+        for node in calls:
+            callee = project.resolve_call(module, node, local_types, owner)
+            if callee is None and isinstance(node.func, ast.Name):
+                callee = project.resolve_function(module, node.func.id)
+            if callee is None:
+                continue
+            if not isinstance(callee.node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # synthetic dataclass constructor
+            callee_owner = None
+            if callee.is_method:
+                callee_owner = callee.module.classes.get(
+                    callee.qualname.split(".")[0]
+                )
+            out.append((callee.node, callee.module, callee_owner, spawn_site, {}))
+        return out
+
+    @staticmethod
+    def _info_for(
+        scope: ast.AST, module: ModuleInfo, owner: Optional[ClassInfo]
+    ) -> Optional[FunctionInfo]:
+        name = getattr(scope, "name", None)
+        if name is None:
+            return None
+        if owner is not None and name in owner.methods:
+            candidate = owner.methods[name]
+            return candidate if candidate.node is scope else None
+        candidate = module.functions.get(name)
+        return candidate if candidate is not None and candidate.node is scope else None
+
+    def _check_scope(
+        self, scope: ast.AST, module: ModuleInfo, spawn_site: str
+    ) -> Iterator[Finding]:
+        ctx = module.ctx
+        fresh: Set[str] = set()  # locals constructed in this scope
+        nonlocals: Set[str] = set()
+        body = getattr(scope, "body", [])
+        args = getattr(scope, "args", None)
+        params = set()
+        if args is not None:
+            for arg in (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            ):
+                params.add(arg.arg)
+
+        def is_shared(expr: ast.expr) -> Optional[str]:
+            """A dotted description if ``expr`` names shared state."""
+            if isinstance(expr, ast.Attribute):
+                base = expr
+                while isinstance(base, ast.Attribute):
+                    base = base.value
+                if isinstance(base, ast.Name) and base.id in fresh:
+                    return None
+                return ast.unparse(expr) if hasattr(ast, "unparse") else expr.attr
+            if isinstance(expr, ast.Name):
+                if expr.id in nonlocals:
+                    return expr.id
+                if expr.id not in fresh and expr.id not in params:
+                    # A bare name that is neither a parameter nor created
+                    # here is a closure/global; only flag mutations via
+                    # methods (handled by the caller), not rebinding.
+                    return None
+            return None
+
+        def walk(statements: Sequence[ast.stmt], locked: bool) -> Iterator[Finding]:
+            for statement in statements:
+                if isinstance(
+                    statement,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                ):
+                    continue
+                if isinstance(statement, ast.Nonlocal):
+                    nonlocals.update(statement.names)
+                    continue
+                if isinstance(statement, ast.Global):
+                    nonlocals.update(statement.names)
+                    continue
+                if isinstance(statement, ast.With):
+                    inner_locked = locked or any(
+                        self._is_lock(item.context_expr)
+                        for item in statement.items
+                    )
+                    yield from walk(statement.body, inner_locked)
+                    continue
+                if isinstance(statement, (ast.For, ast.While)):
+                    if isinstance(statement, ast.For) and isinstance(
+                        statement.target, ast.Name
+                    ):
+                        fresh.add(statement.target.id)
+                    yield from walk(statement.body, locked)
+                    yield from walk(statement.orelse, locked)
+                    continue
+                if isinstance(statement, ast.If):
+                    yield from walk(statement.body, locked)
+                    yield from walk(statement.orelse, locked)
+                    continue
+                if isinstance(statement, ast.Try):
+                    yield from walk(statement.body, locked)
+                    for handler in statement.handlers:
+                        yield from walk(handler.body, locked)
+                    yield from walk(statement.orelse, locked)
+                    yield from walk(statement.finalbody, locked)
+                    continue
+                if not locked:
+                    yield from self._flag_writes(
+                        statement, ctx, spawn_site, is_shared
+                    )
+                # Track freshly constructed locals AFTER checking writes.
+                if isinstance(statement, ast.AnnAssign) and isinstance(
+                    statement.target, ast.Name
+                ):
+                    fresh.add(statement.target.id)
+                elif isinstance(statement, ast.Assign):
+                    for target in statement.targets:
+                        if isinstance(target, ast.Name) and isinstance(
+                            statement.value,
+                            (ast.Call, ast.List, ast.Dict, ast.Set,
+                             ast.ListComp, ast.DictComp, ast.SetComp,
+                             ast.Constant, ast.Tuple, ast.BinOp),
+                        ):
+                            fresh.add(target.id)
+                        elif isinstance(target, (ast.Tuple, ast.List)):
+                            for element in target.elts:
+                                if isinstance(element, ast.Name):
+                                    fresh.add(element.id)
+
+        yield from walk(body, False)
+
+    @staticmethod
+    def _is_lock(expr: ast.expr) -> bool:
+        name = _terminal(expr)
+        if name is None and isinstance(expr, ast.Call):
+            name = _terminal(expr.func)
+        if name is None:
+            return False
+        lowered = name.lower()
+        return any(word in lowered for word in _LOCK_WORDS)
+
+    def _flag_writes(
+        self, statement: ast.stmt, ctx: FileContext, spawn_site: str, is_shared
+    ) -> Iterator[Finding]:
+        targets: List[ast.expr] = []
+        if isinstance(statement, ast.Assign):
+            targets = list(statement.targets)
+        elif isinstance(statement, (ast.AugAssign, ast.AnnAssign)):
+            targets = [statement.target]
+        for target in targets:
+            write_target = target
+            if isinstance(target, ast.Subscript):
+                write_target = target.value
+            if isinstance(write_target, (ast.Attribute, ast.Subscript)):
+                shared = is_shared(
+                    write_target.value
+                    if isinstance(write_target, ast.Subscript)
+                    else write_target
+                )
+                if shared is not None:
+                    yield self.finding(
+                        ctx, statement,
+                        f"write to shared state '{shared}' without holding "
+                        f"a lock in code reachable from a worker thread "
+                        f"(spawned at {spawn_site}); wrap in "
+                        "'with <obj>.lock:' or move out of the worker",
+                    )
+        # Mutating method calls on shared receivers.
+        for node in ast.walk(statement):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            if node.func.attr not in _MUTATOR_METHODS:
+                continue
+            receiver = node.func.value
+            shared = is_shared(receiver)
+            if shared is None and isinstance(receiver, ast.Name):
+                continue
+            if shared is not None:
+                yield self.finding(
+                    ctx, node,
+                    f"mutating call '{shared}.{node.func.attr}(...)' without "
+                    f"holding a lock in code reachable from a worker thread "
+                    f"(spawned at {spawn_site}); wrap in 'with <obj>.lock:'",
+                )
+
+
+@register
+class DeadExperimentRule(Rule):
+    """R013 — experiments must be registered, unique, and runnable."""
+
+    rule_id = "R013"
+    summary = "experiments registered in the harness registry, ids unique"
+    rationale = (
+        "python -m repro --all runs exactly what harness/registry.py "
+        "lists. An experiment module with an EXPERIMENT_ID that never "
+        "reaches _MODULES silently drops a headline result from every "
+        "full run and CI sweep; a duplicated id makes one experiment "
+        "shadow another in the EXPERIMENTS dict."
+    )
+    project_rule = True
+
+    def check_project(
+        self, ctxs: Sequence[FileContext], project: ProjectModel
+    ) -> Iterator[Finding]:
+        registry = self._find_registry(project)
+        experiment_modules = [
+            info
+            for info in project.modules.values()
+            if "experiments" in info.ctx.parts[:-1]
+            and "EXPERIMENT_ID" in info.constants
+        ]
+        if registry is None:
+            return  # partial lint run (no registry in scope): stay silent
+        registry_module, registered = registry
+
+        # Unregistered experiment modules. Matching is suffix-tolerant
+        # so a tree rooted in an unexpected place (fixture copies) still
+        # pairs `from pkg.experiments import e01` with its module.
+        def is_registered(info: ModuleInfo) -> bool:
+            return any(
+                info.name == target or info.name.endswith("." + target)
+                for target in registered.values()
+            )
+
+        for info in sorted(experiment_modules, key=lambda m: m.name):
+            if not is_registered(info):
+                node = self._experiment_id_node(info)
+                yield self.finding(
+                    info.ctx, node,
+                    f"experiment module '{info.name}' defines EXPERIMENT_ID="
+                    f"'{info.constants['EXPERIMENT_ID']}' but is not listed "
+                    "in the registry's _MODULES tuple — it will never run "
+                    "under 'python -m repro --all'",
+                )
+
+        # Duplicate experiment ids.
+        by_id: Dict[object, List[ModuleInfo]] = {}
+        for info in experiment_modules:
+            by_id.setdefault(info.constants["EXPERIMENT_ID"], []).append(info)
+        for experiment_id, infos in sorted(by_id.items(), key=lambda kv: str(kv[0])):
+            if len(infos) > 1:
+                infos = sorted(infos, key=lambda m: m.name)
+                for info in infos[1:]:
+                    node = self._experiment_id_node(info)
+                    yield self.finding(
+                        info.ctx, node,
+                        f"EXPERIMENT_ID '{experiment_id}' is also defined by "
+                        f"'{infos[0].name}'; registry lookups will silently "
+                        "shadow one of them",
+                    )
+
+        # Registered names that are not valid experiment modules.
+        modules_node = self._modules_node(registry_module)
+        for local_name, target in sorted(registered.items()):
+            target_module = project.resolve_module(target)
+            if target_module is None:
+                continue  # outside the linted tree
+            if (
+                "EXPERIMENT_ID" not in target_module.constants
+                or "run" not in target_module.functions
+            ):
+                yield self.finding(
+                    registry_module.ctx, modules_node,
+                    f"registry entry '{local_name}' ({target}) lacks an "
+                    "EXPERIMENT_ID constant or a run() entry point",
+                )
+
+    @staticmethod
+    def _find_registry(
+        project: ProjectModel,
+    ) -> Optional[Tuple[ModuleInfo, Dict[str, str]]]:
+        for info in project.modules.values():
+            if info.ctx.filename != "registry.py":
+                continue
+            names = DeadExperimentRule._modules_names(info)
+            if names is None:
+                continue
+            registered = {
+                name: info.imports.get(name, name) for name in names
+            }
+            return info, registered
+        return None
+
+    @staticmethod
+    def _modules_names(info: ModuleInfo) -> Optional[List[str]]:
+        node = DeadExperimentRule._modules_node(info)
+        if node is None or not isinstance(node, ast.Assign):
+            return None
+        value = node.value
+        if not isinstance(value, (ast.Tuple, ast.List)):
+            return None
+        names: List[str] = []
+        for element in value.elts:
+            if isinstance(element, ast.Name):
+                names.append(element.id)
+        return names
+
+    @staticmethod
+    def _modules_node(info: ModuleInfo) -> Optional[ast.stmt]:
+        for node in info.ctx.tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and target.id == "_MODULES":
+                    return node
+        return None
+
+    @staticmethod
+    def _experiment_id_node(info: ModuleInfo) -> ast.stmt:
+        for node in info.ctx.tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and target.id == "EXPERIMENT_ID":
+                    return node
+        return info.ctx.tree.body[0] if info.ctx.tree.body else ast.Pass(
+            lineno=1, col_offset=0
+        )
