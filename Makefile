@@ -1,12 +1,20 @@
 # Convenience targets for the repro repository.
 
-.PHONY: install test lint reprolint reprolint-sarif bench experiments experiments-small report csv clean
+.PHONY: install test coverage lint reprolint reprolint-sarif bench experiments experiments-small trace-demo report csv clean
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/
+
+# Line coverage over src/repro with the floor from pyproject.toml
+# ([tool.coverage.report] fail_under). Requires pytest-cov (part of the
+# `.[test]` extra); CI uploads the XML artifact.
+coverage:
+	@if python -c "import pytest_cov" >/dev/null 2>&1; then \
+		pytest tests/ --cov=repro --cov-report=term --cov-report=xml; \
+	else echo "pytest-cov not installed; skipping (pip install -e '.[test]')"; fi
 
 # Static analysis: reprolint (always available — stdlib only), plus
 # ruff and mypy when installed (CI installs both; local dev may not).
@@ -36,6 +44,11 @@ experiments:
 
 experiments-small:
 	REPRO_SCALE=small python -m repro --all
+
+# Exercise the trace CLI end-to-end: run a traced load point and render
+# the waterfall + timeline report (fast smoke preset).
+trace-demo:
+	REPRO_SCALE=small python -m repro trace e05 --smoke
 
 report:
 	python -c "from repro.harness.report import generate_report; \

@@ -6,6 +6,8 @@ Examples::
     python -m repro --all               # run every experiment
     python -m repro e05 --scale small   # quick run at unit-test scale
     python -m repro --list              # list experiment ids
+    python -m repro e05 --trace --json-dir out/   # + span/timeline JSONL
+    python -m repro trace e05           # waterfall + timeline for one point
 """
 
 from __future__ import annotations
@@ -14,10 +16,18 @@ import argparse
 import sys
 import time
 from pathlib import Path
-from typing import List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.harness.context import ExperimentContext, Scale
 from repro.harness.registry import EXPERIMENTS, TITLES, run_experiment
+from repro.obs.export import (
+    export_timeline_jsonl,
+    export_traces_jsonl,
+    run_manifest,
+    write_manifest,
+)
+from repro.obs.render import render_trace_report
+from repro.obs.spans import RecordingTracer
 from repro.util.serde import dump_json
 
 
@@ -61,10 +71,19 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a consolidated markdown report (requires --json-dir)",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record query-lifecycle spans and metric timelines; writes "
+        "<id>.traces.jsonl / <id>.timeline.jsonl (requires --json-dir)",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
     args = _build_parser().parse_args(argv)
 
     if args.list:
@@ -82,11 +101,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         return 2
 
+    if args.trace and args.json_dir is None:
+        print("--trace requires --json-dir", file=sys.stderr)
+        return 2
+
     if args.smoke:
         scale = Scale.SMALL
     else:
         scale = Scale(args.scale) if args.scale else None
-    ctx = ExperimentContext(scale=scale, seed=args.seed)
+    tracer = RecordingTracer() if args.trace else None
+    ctx = ExperimentContext(scale=scale, seed=args.seed, tracer=tracer)
     print(f"context: {ctx}\n")
 
     failed_checks = 0
@@ -98,7 +122,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"({experiment_id} took {elapsed:.1f}s)\n")
         if args.json_dir is not None:
             dump_json(result.to_json(), args.json_dir / f"{experiment_id}.json")
+            if tracer is not None:
+                export_traces_jsonl(
+                    tracer.traces,
+                    args.json_dir / f"{experiment_id}.traces.jsonl",
+                )
+                rows = [
+                    {"run": run_index, **row}
+                    for run_index, run in enumerate(tracer.runs)
+                    for row in run.timeline
+                ]
+                export_timeline_jsonl(
+                    rows, args.json_dir / f"{experiment_id}.timeline.jsonl"
+                )
+                tracer.clear()
         failed_checks += sum(1 for check in result.checks if not check.passed)
+
+    if args.json_dir is not None:
+        manifest = run_manifest(
+            seed=args.seed,
+            scale=ctx.scale.value,
+            config=ctx.params,
+            experiments=ids,
+            extra={"traced": bool(args.trace)},
+        )
+        write_manifest(manifest, args.json_dir / "manifest.json")
 
     if args.report is not None:
         if args.json_dir is None:
@@ -112,6 +160,159 @@ def main(argv: Optional[List[str]] = None) -> int:
     if failed_checks:
         print(f"{failed_checks} shape check(s) FAILED", file=sys.stderr)
         return 1
+    return 0
+
+
+# ---------------------------------------------------------------------
+# ``python -m repro trace <id>`` — one traced load point, rendered.
+# ---------------------------------------------------------------------
+
+
+def _trace_e05(ctx: ExperimentContext, seed: int) -> str:
+    system = ctx.system
+    system.run_point(
+        "fixed-4",
+        system.rate_for_utilization(0.3),
+        duration=ctx.sim_duration,
+        warmup=ctx.sim_warmup,
+        seed=seed,
+    )
+    return "fixed-4 at u=0.3 (E5 operating point)"
+
+
+def _trace_e09(ctx: ExperimentContext, seed: int) -> str:
+    from repro.sim.arrivals import MMPP2Arrivals
+    from repro.util.rng import RngFactory
+
+    system = ctx.system
+    mean_rate = system.rate_for_utilization(0.3)
+    arrivals = MMPP2Arrivals.with_mean_rate(
+        mean_rate=mean_rate,
+        burst_ratio=4.0,
+        mean_dwell_s=0.05,
+        rng=RngFactory(1234).stream("trace", "mmpp"),
+    )
+    system.run_point(
+        "adaptive",
+        mean_rate,
+        duration=ctx.sim_duration,
+        warmup=ctx.sim_warmup,
+        seed=seed,
+        arrivals=arrivals,
+    )
+    return "adaptive under MMPP2 bursts (ratio 4) at mean u=0.3 (E9)"
+
+
+def _trace_e12(ctx: ExperimentContext, seed: int) -> str:
+    from repro.sim.cluster import ClusterConfig, run_cluster_point
+
+    system = ctx.system
+    duration = max(ctx.sim_duration * 0.75, 4.0)
+    config = ClusterConfig(
+        n_shards=4,
+        n_cores_per_shard=system.n_cores,
+        rate=system.rate_for_utilization(0.3),
+        duration=duration,
+        warmup=duration / 4.0,
+        seed=seed + 7,
+    )
+    run_cluster_point(
+        system.oracle, lambda: system.policy("adaptive"), config,
+        tracer=ctx.tracer,
+    )
+    return "4-shard cluster fan-out, adaptive, per-shard u=0.3 (E12)"
+
+
+def _trace_e19(ctx: ExperimentContext, seed: int) -> str:
+    system = ctx.system
+    slo = 2.5 * float(system.service_distribution.percentile(99))
+    system.run_point(
+        "adaptive",
+        system.rate_for_utilization(1.2),
+        duration=ctx.sim_duration,
+        warmup=ctx.sim_warmup,
+        seed=seed,
+        deadline=slo,
+        max_queue_length=32 * system.n_cores,
+    )
+    return (
+        f"adaptive at u=1.2 with deadline {slo * 1e3:.1f}ms and an "
+        "admission cap (E19 overload point)"
+    )
+
+
+#: id -> (runner, one-line description shown by --help).
+_TRACE_PRESETS: Dict[str, Tuple[Callable[[ExperimentContext, int], str], str]] = {
+    "e05": (_trace_e05, "fixed-degree load point at u=0.3"),
+    "e09": (_trace_e09, "adaptive under MMPP2 bursty arrivals"),
+    "e12": (_trace_e12, "cluster fan-out with per-shard spans"),
+    "e19": (_trace_e19, "adaptive overload point with shedding"),
+}
+
+
+def _trace_main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description=(
+            "Run one traced load point and render per-query span "
+            "waterfalls plus the sampled metric timeline. Presets: "
+            + "; ".join(
+                f"{key} = {hint}" for key, (_, hint) in sorted(_TRACE_PRESETS.items())
+            )
+        ),
+    )
+    parser.add_argument("experiment", choices=sorted(_TRACE_PRESETS))
+    parser.add_argument(
+        "--scale",
+        choices=[s.value for s in Scale],
+        default=None,
+        help="experiment scale (default: REPRO_SCALE env var or 'reference')",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="force the small scale"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root seed")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory for traces/timeline JSONL and the run manifest",
+    )
+    parser.add_argument(
+        "--waterfalls", type=int, default=3, help="waterfalls to render"
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        scale = Scale.SMALL
+    else:
+        scale = Scale(args.scale) if args.scale else None
+    tracer = RecordingTracer()
+    ctx = ExperimentContext(scale=scale, seed=args.seed, tracer=tracer)
+    runner, _ = _TRACE_PRESETS[args.experiment]
+    description = runner(ctx, args.seed)
+
+    traces = tracer.traces
+    timeline = [row for run in tracer.runs for row in run.timeline]
+    print(f"{args.experiment}: {description} [{ctx.scale.value} scale]\n")
+    print(render_trace_report(traces, timeline, n_waterfalls=args.waterfalls))
+
+    if args.out is not None:
+        export_traces_jsonl(traces, args.out / f"{args.experiment}.traces.jsonl")
+        export_timeline_jsonl(
+            timeline, args.out / f"{args.experiment}.timeline.jsonl"
+        )
+        write_manifest(
+            run_manifest(
+                seed=args.seed,
+                scale=ctx.scale.value,
+                config=ctx.params,
+                experiments=[args.experiment],
+                extra={"mode": "trace"},
+            ),
+            args.out / "manifest.json",
+        )
+        print(f"wrote traces, timeline, and manifest to {args.out}")
     return 0
 
 

@@ -15,6 +15,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.compare import PolicyComparison
 from repro.errors import ConfigurationError
+from repro.obs.registry import RunObserver
+from repro.obs.spans import Tracer
 from repro.policies.adaptive import AdaptivePolicy, ThresholdTable
 from repro.policies.base import ParallelismPolicy
 from repro.policies.derivation import derive_threshold_table, scale_table
@@ -95,6 +97,11 @@ class AdaptiveSearchSystem:
         self.workbench = workbench
         self.cost_table = cost_table
         self.config = config
+        #: Opt-in observability sink. When set, every load point run
+        #: through :meth:`run_point` / :meth:`sweep` reports spans and
+        #: metric timelines to it (results are unchanged — see
+        #: repro.obs). None keeps the zero-overhead untraced path.
+        self.tracer: Optional[Tracer] = None
 
         self.profile = SpeedupProfile(cost_table)
         self.service_distribution = ServiceTimeDistribution(
@@ -214,8 +221,13 @@ class AdaptiveSearchSystem:
         deadline: Optional[float] = None,
         max_queue_length: Optional[int] = None,
         slo: Optional[float] = None,
+        observer: Optional[RunObserver] = None,
     ) -> LoadPointSummary:
-        """Simulate one load point for one policy."""
+        """Simulate one load point for one policy.
+
+        ``observer`` overrides the system-level :attr:`tracer`; with
+        neither set the run is untraced.
+        """
         config = LoadPointConfig(
             rate=rate,
             duration=duration,
@@ -226,7 +238,12 @@ class AdaptiveSearchSystem:
             max_queue_length=max_queue_length,
             slo=slo,
         )
-        return run_load_point(self.oracle, self.policy(policy_name), config, arrivals)
+        if observer is None and self.tracer is not None:
+            observer = RunObserver(tracer=self.tracer)
+        return run_load_point(
+            self.oracle, self.policy(policy_name), config, arrivals,
+            observer=observer,
+        )
 
     def sweep(
         self,

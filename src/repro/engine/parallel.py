@@ -18,9 +18,9 @@ thread-pool counterpart used to validate result equivalence.
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.engine.results import ExecutionResult, make_ranked
+from repro.engine.results import ChunkSpan, ExecutionResult, make_ranked
 from repro.engine.termination import TerminationConfig, TerminationState
 from repro.engine.topk import TopK
 from repro.engine.trace import ChunkTrace
@@ -28,9 +28,20 @@ from repro.errors import ExecutionError
 
 
 def execute_parallel(
-    trace: ChunkTrace, termination: TerminationConfig, degree: int
+    trace: ChunkTrace,
+    termination: TerminationConfig,
+    degree: int,
+    collect_spans: bool = False,
 ) -> ExecutionResult:
-    """Run the traced query with ``degree`` parallel workers."""
+    """Run the traced query with ``degree`` parallel workers.
+
+    With ``collect_spans`` the result carries one
+    :class:`~repro.engine.results.ChunkSpan` per chunk claim (worker,
+    position, phase-relative start/end) and the instant the first worker
+    observed early termination. Span collection is pure bookkeeping: the
+    execution schedule, result set, and every statistic are identical
+    with it on or off.
+    """
     if not isinstance(degree, int) or isinstance(degree, bool) or degree < 1:
         raise ExecutionError(f"degree must be a positive integer, got {degree!r}")
 
@@ -57,10 +68,17 @@ def execute_parallel(
     chunks_evaluated = 0
     postings_scanned = 0
     docs_matched = 0
+    spans: Optional[List[ChunkSpan]] = [] if collect_spans else None
+    claim_starts: Dict[int, float] = {}
+    termination_s: Optional[float] = None
 
     while events:
         now, worker, completed = heapq.heappop(events)
         if completed is not None:
+            if spans is not None:
+                spans.append(
+                    ChunkSpan(worker, completed, claim_starts.pop(completed), now)
+                )
             outcome, _ = trace.get(completed)
             chunks_evaluated += 1
             postings_scanned += outcome.postings_scanned
@@ -74,8 +92,12 @@ def execute_parallel(
             next_position += 1
             _, cost = trace.get(position)
             busy[worker] += cost
+            if spans is not None:
+                claim_starts[position] = now
             heapq.heappush(events, (now + cost, worker, position))
         else:
+            if spans is not None and termination_s is None:
+                termination_s = now
             parallel_makespan = max(parallel_makespan, now)
 
     serial_overhead = (
@@ -99,4 +121,8 @@ def execute_parallel(
         terminated_early=state.terminated_early,
         termination_rule=state.fired_rule,
         worker_busy=tuple(busy),
+        chunk_spans=tuple(spans) if spans is not None else None,
+        termination_s=(
+            termination_s if spans is not None and state.terminated_early else None
+        ),
     )

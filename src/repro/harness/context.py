@@ -17,6 +17,7 @@ from typing import Dict, Optional
 
 from repro.core.controller import AdaptiveSearchSystem, SystemConfig
 from repro.errors import ConfigurationError
+from repro.obs.spans import Tracer
 from repro.workloads.workbench import WorkbenchConfig, cached_workbench
 
 
@@ -73,10 +74,18 @@ class ExperimentContext:
 
     _SYSTEMS: Dict[Scale, AdaptiveSearchSystem] = {}
 
-    def __init__(self, scale: Optional[Scale] = None, seed: int = 0) -> None:
+    def __init__(
+        self,
+        scale: Optional[Scale] = None,
+        seed: int = 0,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.scale = scale if scale is not None else Scale.from_env()
         self.seed = seed
         self.params = _ScaleParams.for_scale(self.scale)
+        #: Observability sink installed on the (shared) system while this
+        #: context is the one driving it; None = untraced (the default).
+        self.tracer = tracer
 
     def workbench_config(self) -> WorkbenchConfig:
         if self.scale is Scale.SMALL:
@@ -94,6 +103,10 @@ class ExperimentContext:
                 SystemConfig(n_queries=self.params.n_profile_queries, seed=self.seed),
             )
             self._SYSTEMS[self.scale] = cached
+        # The system instance is shared across contexts (cached per
+        # scale); the most recent context's tracer wins, and the common
+        # untraced case keeps it cleared.
+        cached.tracer = self.tracer
         return cached
 
     # Convenience pass-throughs used by most experiments -------------

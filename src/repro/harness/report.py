@@ -18,6 +18,19 @@ from repro.errors import ConfigurationError
 from repro.util.serde import load_json
 
 
+def _render_manifest_md(manifest: Dict) -> List[str]:
+    """Provenance block from a run manifest (see repro.obs.export)."""
+    lines = ["**Provenance**", ""]
+    for key in ("seed", "scale", "config_hash", "git_rev", "traced"):
+        if manifest.get(key) is not None:
+            lines.append(f"- {key}: `{manifest[key]}`")
+    experiments = manifest.get("experiments")
+    if experiments:
+        lines.append(f"- experiments: {', '.join(experiments)}")
+    lines.append("")
+    return lines
+
+
 def _render_table_md(table: Dict) -> List[str]:
     """Render one serialized Table as markdown."""
     lines: List[str] = []
@@ -94,6 +107,11 @@ def generate_report(
         f"{total_checks - len(failed)} passed / {len(failed)} failed."
     )
     lines.append("")
+    manifest_path = Path(results_dir) / "manifest.json"
+    if manifest_path.is_file():
+        manifest = load_json(manifest_path)
+        if isinstance(manifest, dict):
+            lines.extend(_render_manifest_md(manifest))
     if failed:
         lines.append("**Failed checks:**")
         lines.append("")

@@ -40,6 +40,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.obs.spans import NULL_TRACER, ClusterTraceBuilder, Tracer
 from repro.policies.base import ParallelismPolicy
 from repro.sim.arrivals import ArrivalProcess, PoissonArrivals
 from repro.sim.engine import Simulator
@@ -63,6 +64,7 @@ class _InFlight:
         "last_completion",
         "hedged",
         "done",
+        "trace",
     )
 
     def __init__(self, arrival: float, query_indices: List[int]) -> None:
@@ -77,6 +79,8 @@ class _InFlight:
         self.last_completion = arrival
         self.hedged = False
         self.done = False
+        # Aggregator-side span builder (tracer enabled only).
+        self.trace: Optional[ClusterTraceBuilder] = None
 
 
 @dataclass(frozen=True)
@@ -177,6 +181,7 @@ def run_cluster_point(
     config: ClusterConfig,
     arrivals: Optional[ArrivalProcess] = None,
     faults: Optional[ClusterFaultPlan] = None,
+    tracer: Optional[Tracer] = None,
 ) -> ClusterSummary:
     """Simulate one cluster load point.
 
@@ -185,7 +190,14 @@ def run_cluster_point(
     ``faults`` injects per-shard slowdown/crash schedules (replica
     servers used for hedging are deliberately fault-free — replicas are
     different machines, which is what hedging exploits).
+
+    ``tracer`` (opt-in) receives one aggregator-side ``cluster`` trace
+    per query — shard attempt spans plus hedge / quorum / timeout
+    outcomes — and the node-level traces of every shard and replica
+    server (``server_id`` distinguishes them). Tracing is read-only:
+    a traced run returns a summary bit-identical to an untraced one.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
     # Named streams derived by hashing, not by drawing from a parent
     # generator: child streams must not depend on the parent's
     # consumption position (see util/rng.py). One-time stream change vs
@@ -210,6 +222,20 @@ def run_cluster_point(
         """Emit the aggregator's answer (or record the failure)."""
         state.done = True
         del in_flight[tag]
+        if state.trace is not None:
+            n_resp = state.n_responded
+            outcome = (
+                "failed" if n_resp == 0
+                else "full" if n_resp == config.n_shards
+                else "partial"
+            )
+            answer_s = now + (config.aggregation_overhead if n_resp else 0.0)
+            tracer.on_trace(
+                state.trace.finalized(
+                    answer_s, outcome, n_resp, config.n_shards,
+                    timed_out=timed_out, quorum=config.quorum,
+                )
+            )
         if state.arrival < config.warmup:
             return
         coverage = state.n_responded / config.n_shards
@@ -246,6 +272,11 @@ def run_cluster_point(
         if state is None or state.done:
             return  # duplicate of an already-answered query
         state.outstanding[shard_id] -= 1
+        if state.trace is not None:
+            state.trace.shard_responded(
+                record.completion, shard_id,
+                replica=from_replica, won=not state.responded[shard_id],
+            )
         if not state.responded[shard_id]:
             state.responded[shard_id] = True
             state.n_responded += 1
@@ -257,15 +288,22 @@ def run_cluster_point(
     def on_replica_complete(record: QueryRecord, tag) -> None:
         on_shard_complete(record, tag, from_replica=True)
 
-    def on_shard_shed(query_index: int, tag, reason: str, now: float) -> None:
+    def on_shard_shed(
+        query_index: int, tag, reason: str, now: float, from_replica: bool = False
+    ) -> None:
         cluster_tag, shard_id = tag
         state = in_flight.get(cluster_tag)
         if state is None or state.done:
             return
+        if state.trace is not None:
+            state.trace.shard_shed(now, shard_id, reason, replica=from_replica)
         state.outstanding[shard_id] -= 1
         check_done(cluster_tag, state, now)
 
-    def make_shards(fault_plan, on_complete, on_shed) -> List[IndexServerModel]:
+    def on_replica_shed(query_index: int, tag, reason: str, now: float) -> None:
+        on_shard_shed(query_index, tag, reason, now, from_replica=True)
+
+    def make_shards(fault_plan, on_complete, on_shed, role) -> List[IndexServerModel]:
         servers = []
         for shard_id in range(config.n_shards):
             policy: ParallelismPolicy = policy_factory()
@@ -290,14 +328,16 @@ def run_cluster_point(
                         else None
                     ),
                     on_query_shed=on_shed,
+                    tracer=tracer,
+                    server_id=f"{role}{shard_id}",
                 )
             )
         return servers
 
-    shards = make_shards(faults, on_shard_complete, on_shard_shed)
+    shards = make_shards(faults, on_shard_complete, on_shard_shed, "shard")
     policy_name = shards[0].policy.name
     replicas: List[IndexServerModel] = (
-        make_shards(None, on_replica_complete, on_shard_shed)
+        make_shards(None, on_replica_complete, on_replica_shed, "replica")
         if config.hedge_delay is not None
         else []
     )
@@ -311,16 +351,27 @@ def run_cluster_point(
         if state is None or state.done:
             return
         state.hedged = True
-        issued = False
-        for shard_id in range(config.n_shards):
-            if not state.responded[shard_id]:
-                state.outstanding[shard_id] += 1
-                counters["hedges"] += 1
-                issued = True
-                replicas[shard_id].submit(
-                    state.query_indices[shard_id], tag=(tag, shard_id)
+        laggards = [
+            shard_id
+            for shard_id in range(config.n_shards)
+            if not state.responded[shard_id]
+        ]
+        if state.trace is not None and laggards:
+            state.trace.hedged(simulator.now, laggards)
+        for shard_id in laggards:
+            state.outstanding[shard_id] += 1
+            counters["hedges"] += 1
+            if state.trace is not None:
+                # Register the replica attempt before submit(): admission
+                # shed is synchronous and must land on an open attempt.
+                state.trace.shard_submitted(
+                    simulator.now, shard_id,
+                    state.query_indices[shard_id], replica=True,
                 )
-        if not issued:
+            replicas[shard_id].submit(
+                state.query_indices[shard_id], tag=(tag, shard_id)
+            )
+        if not laggards:
             check_done(tag, state, simulator.now)
 
     def timeout(tag: int) -> None:
@@ -333,7 +384,14 @@ def run_cluster_point(
         tag = next_tag[0]
         next_tag[0] += 1
         indices = [int(sample_rng.integers(n_queries)) for _ in shards]
-        in_flight[tag] = _InFlight(simulator.now, indices)
+        state = _InFlight(simulator.now, indices)
+        if tracer.enabled:
+            state.trace = ClusterTraceBuilder(tag, simulator.now, config.n_shards)
+            for shard_id in range(config.n_shards):
+                state.trace.shard_submitted(
+                    simulator.now, shard_id, indices[shard_id]
+                )
+        in_flight[tag] = state
         for shard_id, shard in enumerate(shards):
             # Independent work per partition for the same logical query.
             shard.submit(indices[shard_id], tag=(tag, shard_id))

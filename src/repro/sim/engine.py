@@ -8,6 +8,7 @@ so simulations are exactly reproducible for a given seed.
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
@@ -38,6 +39,8 @@ class Simulator:
 
     def schedule_at(self, time_s: float, callback: EventCallback) -> None:
         """Schedule ``callback`` at absolute virtual ``time_s`` (seconds)."""
+        if not math.isfinite(time_s):
+            raise SimulationError(f"event time must be finite, got {time_s}")
         if time_s < self._now:
             raise SimulationError(
                 f"cannot schedule in the past: {time_s} < now {self._now}"
@@ -64,13 +67,25 @@ class Simulator:
     def run(self, until_s: Optional[float] = None) -> None:
         """Run until the event queue drains or virtual time passes ``until_s``.
 
-        With a horizon, events scheduled beyond it remain queued and
-        ``now`` is advanced exactly to the horizon.
+        Horizon-boundary semantics (pinned by regression tests):
+
+        * events scheduled at exactly ``until_s`` DO fire, including
+          ones that such events schedule at the same instant;
+        * events strictly beyond the horizon remain queued;
+        * ``now`` lands exactly on the horizon afterwards, even when no
+          event was processed, so ``run(until_s=now)`` is a no-op and a
+          later ``schedule_at(until_s, ...)`` is legal;
+        * the horizon must be finite — ``nan`` would silently skip the
+          queue and poison ``now`` (every later comparison is False),
+          and ``inf`` would strand ``now`` where nothing can ever be
+          scheduled again. Run with ``until_s=None`` to drain fully.
         """
         if until_s is None:
             while self.step():
                 pass
             return
+        if not math.isfinite(until_s):
+            raise SimulationError(f"horizon must be finite, got {until_s}")
         if until_s < self._now:
             raise SimulationError(f"horizon {until_s} is before now {self._now}")
         while self._heap and self._heap[0][0] <= until_s:

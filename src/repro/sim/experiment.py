@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.obs.registry import RunObserver
 from repro.policies.base import ParallelismPolicy
 from repro.sim.arrivals import ArrivalProcess, PoissonArrivals
 from repro.sim.engine import Simulator
@@ -97,8 +98,15 @@ def run_load_point(
     policy: ParallelismPolicy,
     config: LoadPointConfig,
     arrivals: Optional[ArrivalProcess] = None,
+    observer: Optional[RunObserver] = None,
 ) -> LoadPointSummary:
-    """Simulate one load point and summarize it."""
+    """Simulate one load point and summarize it.
+
+    ``observer`` (opt-in) attaches the observability layer: per-query
+    span traces via the observer's tracer, plus a metric timeline
+    sampled on a virtual-time ticker. Observation is read-only — a
+    traced run produces a summary bit-identical to an untraced one.
+    """
     # Position-independent child streams (see util/rng.py docstring).
     streams = RngFactory(config.seed)
     arrival_rng = streams.stream("arrivals")
@@ -113,7 +121,14 @@ def run_load_point(
         clamp_to_plan=config.clamp_to_plan,
         deadline=config.deadline,
         max_queue_length=config.max_queue_length,
+        tracer=observer.tracer if observer is not None else None,
     )
+    if observer is not None:
+        observer.on_run_start(
+            policy=policy.name, rate=config.rate, duration=config.duration,
+            warmup=config.warmup, n_cores=config.n_cores, seed=config.seed,
+        )
+        observer.attach(simulator, server, metrics, horizon_s=config.duration)
 
     n_queries = oracle.n_queries
 
@@ -141,6 +156,8 @@ def run_load_point(
         server.n_running or server.queue_length
     ) and simulator.now < drain_limit and simulator.pending_events:
         simulator.step()
+    if observer is not None:
+        observer.finish()
 
     queue_delays = metrics.queue_delays()
     offered = config.rate * oracle.mean_sequential_latency() / config.n_cores

@@ -179,6 +179,21 @@ class MetricsCollector:
         )
         return in_slo / self.window_s
 
+    def conservation(self) -> Dict[str, int]:
+        """Flow-conservation accounting over the whole run.
+
+        ``in_flight`` is whatever arrived but neither completed nor was
+        shed (non-zero only if the caller stopped before draining).
+        Trace-backed tests re-derive these counts from spans and assert
+        ``completed + shed + in_flight == issued``.
+        """
+        return {
+            "issued": self.n_arrivals,
+            "completed": self.n_completions,
+            "shed": self.n_shed,
+            "in_flight": self.n_arrivals - self.n_completions - self.n_shed,
+        }
+
     def degree_histogram(self) -> Dict[int, float]:
         """Fraction of observed queries granted each degree."""
         degrees = self.degrees()

@@ -35,6 +35,15 @@ exactly):
 Shed queries never produce a :class:`QueryRecord`; they are counted by
 the metrics collector and reported through ``on_query_shed`` so a
 cluster aggregator can stop waiting for them.
+
+Observability (opt-in): pass a ``tracer`` with ``enabled=True`` and
+every submitted query carries a
+:class:`~repro.obs.spans.QueryTraceBuilder` through its lifecycle —
+enqueue, admit-or-shed, degree grant, execution phases (probe /
+escalation), completion — finished traces are handed to
+``tracer.on_trace``. With the default
+:data:`~repro.obs.spans.NULL_TRACER` nothing is allocated and the
+dispatch path is byte-for-byte the untraced one.
 """
 
 from __future__ import annotations
@@ -43,6 +52,7 @@ from collections import deque
 from typing import Any, Callable, Deque, Optional
 
 from repro.errors import SimulationError
+from repro.obs.spans import NULL_TRACER, QueryTraceBuilder, Tracer
 from repro.policies.base import ParallelismPolicy, SystemState
 from repro.sim.engine import Simulator
 from repro.sim.faults import FaultSchedule
@@ -68,6 +78,7 @@ class _Job:
         "escalation_degree",
         "probe_time",
         "tag",
+        "trace",
     )
 
     def __init__(self, query_index: int, arrival: float, tag: Any = None) -> None:
@@ -80,6 +91,8 @@ class _Job:
         # Escalation plan (incremental policies only).
         self.escalation_degree: Optional[int] = None
         self.probe_time: Optional[float] = None
+        # Span builder; populated only when the server's tracer is enabled.
+        self.trace: Optional[QueryTraceBuilder] = None
 
 
 class IndexServerModel:
@@ -98,6 +111,8 @@ class IndexServerModel:
         max_queue_length: Optional[int] = None,
         faults: Optional[FaultSchedule] = None,
         on_query_shed: Optional[ShedHook] = None,
+        tracer: Optional[Tracer] = None,
+        server_id: Optional[str] = None,
     ) -> None:
         require_int_in_range(n_cores, "n_cores", low=1)
         if deadline is not None:
@@ -125,6 +140,11 @@ class IndexServerModel:
         # query is dropped; the cluster aggregator uses it to release
         # join state instead of waiting for a response that never comes.
         self.on_query_shed = on_query_shed
+        # Observability (opt-in). With the default NULL_TRACER no span
+        # state is allocated anywhere on the hot path.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.server_id = server_id
+        self._n_submitted = 0
         self._queue: Deque[_Job] = deque()
         self.free_cores = n_cores
         self.n_running = 0
@@ -138,13 +158,22 @@ class IndexServerModel:
         """A query arrives now. ``tag`` is opaque correlation state passed
         to ``on_query_complete`` (used by the cluster aggregator)."""
         self.metrics.on_arrival()
+        trace: Optional[QueryTraceBuilder] = None
+        if self.tracer.enabled:
+            trace = QueryTraceBuilder(
+                self._n_submitted, query_index, self.simulator.now,
+                server_id=self.server_id,
+            )
+        self._n_submitted += 1
         if (
             self.max_queue_length is not None
             and len(self._queue) >= self.max_queue_length
         ):
-            self._shed(query_index, tag, self.simulator.now, "admission")
+            self._shed(query_index, tag, self.simulator.now, "admission", trace)
             return
-        self._queue.append(_Job(query_index, self.simulator.now, tag))
+        job = _Job(query_index, self.simulator.now, tag)
+        job.trace = trace
+        self._queue.append(job)
         self._dispatch()
 
     @property
@@ -155,10 +184,19 @@ class IndexServerModel:
     # Dispatch
     # ----------------------------------------------------------------
 
-    def _shed(self, query_index: int, tag: Any, arrival: float, reason: str) -> None:
+    def _shed(
+        self,
+        query_index: int,
+        tag: Any,
+        arrival: float,
+        reason: str,
+        trace: Optional[QueryTraceBuilder] = None,
+    ) -> None:
         """Drop a query without serving it."""
         self.n_shed += 1
         self.metrics.on_shed(arrival, reason)
+        if trace is not None:
+            self.tracer.on_trace(trace.shed(self.simulator.now, reason))
         if self.on_query_shed is not None:
             self.on_query_shed(query_index, tag, reason, self.simulator.now)
 
@@ -174,12 +212,14 @@ class IndexServerModel:
                 wait = now - job.arrival
                 expected = self.oracle.expected_sequential_latency(job.query_index)
                 if wait >= self.deadline or wait + max(0.0, expected) > self.deadline:
-                    self._shed(job.query_index, job.tag, job.arrival, "deadline")
+                    self._shed(job.query_index, job.tag, job.arrival, "deadline",
+                               job.trace)
                     shed_this_cycle = True
                     continue
             # A crashed server answers nothing until it recovers.
             if self.faults is not None and self.faults.crashed_at(now):
-                self._shed(job.query_index, job.tag, job.arrival, "fault")
+                self._shed(job.query_index, job.tag, job.arrival, "fault",
+                           job.trace)
                 shed_this_cycle = True
                 continue
             state = SystemState(
@@ -202,6 +242,11 @@ class IndexServerModel:
                 cap = min(cap, self.oracle.plan_chunk_limit(job.query_index))
             granted = self.oracle.clamp_degree(max(1, cap))
             job.start = self.simulator.now
+            if job.trace is not None:
+                job.trace.degree_granted(
+                    self.simulator.now, requested=requested, granted=granted,
+                    free_cores=self.free_cores,
+                )
             self.n_running += 1
 
             slowdown = (
@@ -217,14 +262,18 @@ class IndexServerModel:
                 if granted > 1 and t1 > probe:
                     job.probe_time = float(probe)
                     job.escalation_degree = granted
-                    self._start_phase(job, degree=1, duration=float(probe) * slowdown)
+                    self._start_phase(job, degree=1,
+                                      duration=float(probe) * slowdown,
+                                      kind="probe")
                 else:
                     self._start_phase(job, degree=1, duration=t1 * slowdown)
             else:
                 duration = self.oracle.latency(job.query_index, granted)
                 self._start_phase(job, degree=granted, duration=duration * slowdown)
 
-    def _start_phase(self, job: _Job, degree: int, duration: float) -> None:
+    def _start_phase(
+        self, job: _Job, degree: int, duration: float, kind: str = "gang"
+    ) -> None:
         if degree > self.free_cores:
             raise SimulationError(
                 f"phase needs {degree} cores but only {self.free_cores} free"
@@ -235,12 +284,16 @@ class IndexServerModel:
         job.cores_held = degree
         job.max_degree_used = max(job.max_degree_used, degree)
         now = self.simulator.now
+        if job.trace is not None:
+            job.trace.phase_started(now, degree, kind)
         self.metrics.on_core_usage(now, now + duration, degree)
         self.simulator.schedule(duration, lambda: self._phase_end(job))
 
     def _phase_end(self, job: _Job) -> None:
         self.free_cores += job.cores_held
         job.cores_held = 0
+        if job.trace is not None:
+            job.trace.phase_ended(self.simulator.now)
         if job.escalation_degree is not None:
             self._escalate(job)
         else:
@@ -257,6 +310,8 @@ class IndexServerModel:
         # Grab up to `target` cores, but never stall: at worst continue
         # sequentially on the one core the probe was using.
         actual = self.oracle.clamp_degree(max(1, min(target, self.free_cores)))
+        if job.trace is not None:
+            job.trace.escalated(self.simulator.now, target=target, actual=actual)
         remaining_fraction = max(0.0, 1.0 - probe / t1)
         if actual == 1:
             duration = t1 * remaining_fraction
@@ -266,7 +321,7 @@ class IndexServerModel:
             duration = self.oracle.latency(job.query_index, actual) * remaining_fraction
         if self.faults is not None:
             duration *= self.faults.multiplier_at(self.simulator.now)
-        self._start_phase(job, degree=actual, duration=duration)
+        self._start_phase(job, degree=actual, duration=duration, kind="escalated")
 
     def _complete(self, job: _Job) -> None:
         self.n_running -= 1
@@ -280,5 +335,7 @@ class IndexServerModel:
             degree=job.max_degree_used,
         )
         self.metrics.on_completion(record)
+        if job.trace is not None:
+            self.tracer.on_trace(job.trace.completed(self.simulator.now))
         if self.on_query_complete is not None:
             self.on_query_complete(record, job.tag)

@@ -77,3 +77,93 @@ class TestChunkTrace:
         assert cost == pytest.approx(
             small_engine.config.cost_model.chunk_time(outcome)
         )
+
+
+class TestChunkTraceStats:
+    def test_lookup_and_hit_counters(self, small_engine, sample_queries):
+        trace = small_engine.trace(sample_queries[0])
+        assert trace.n_lookups == 0 and trace.n_hits == 0
+        trace.get(0)
+        assert (trace.n_lookups, trace.n_hits) == (1, 0)
+        trace.get(0)
+        assert (trace.n_lookups, trace.n_hits) == (2, 1)
+        trace.get(1)
+        assert (trace.n_lookups, trace.n_hits) == (3, 1)
+
+    def test_shared_trace_hits_across_degrees(self, small_engine, sample_queries):
+        trace = small_engine.trace(sample_queries[2])
+        small_engine.execute_trace(trace, 1)
+        small_engine.execute_trace(trace, 4)
+        # The second execution re-reads every chunk the first one
+        # evaluated; re-reads are hits, so hits < lookups.
+        assert trace.n_hits > 0
+        assert trace.n_lookups == trace.n_evaluated + trace.n_hits
+
+
+class TestChunkSpans:
+    def _spanning_query(self, small_engine, sample_queries, min_chunks=4):
+        return next(
+            q for q in sample_queries
+            if small_engine.plan(q).n_candidate_chunks >= min_chunks
+        )
+
+    def test_sequential_execution_has_no_spans(self, small_engine, sample_queries):
+        result = small_engine.execute(sample_queries[0], 1, collect_spans=True)
+        assert result.chunk_spans is None
+        assert result.termination_s is None
+
+    def test_spans_off_by_default(self, small_engine, sample_queries):
+        result = small_engine.execute(sample_queries[0], 4)
+        assert result.chunk_spans is None
+
+    def test_collection_does_not_change_the_result(
+        self, small_engine, sample_queries
+    ):
+        query = self._spanning_query(small_engine, sample_queries)
+        plain = small_engine.execute(query, 4)
+        spanned = small_engine.execute(query, 4, collect_spans=True)
+        assert spanned.results == plain.results
+        # Bit-identical by design: span collection must not perturb the
+        # schedule, so exact float equality is the property under test.
+        assert spanned.latency == plain.latency  # reprolint: disable=R004 -- bit-identity is the property
+        assert spanned.cpu_time == plain.cpu_time  # reprolint: disable=R004 -- bit-identity is the property
+        assert spanned.chunks_evaluated == plain.chunks_evaluated
+        assert spanned.worker_busy == plain.worker_busy
+        assert spanned.terminated_early == plain.terminated_early
+
+    def test_one_span_per_claimed_chunk(self, small_engine, sample_queries):
+        query = self._spanning_query(small_engine, sample_queries)
+        result = small_engine.execute(query, 4, collect_spans=True)
+        spans = result.chunk_spans
+        assert len(spans) == result.chunks_evaluated
+        # Chunks are claimed in document order starting at position 0.
+        assert sorted(s.position for s in spans) == list(range(len(spans)))
+        assert all(s.duration_s > 0 for s in spans)
+        assert all(0 <= s.worker < 4 for s in spans)
+
+    def test_spans_tile_each_worker_without_overlap(
+        self, small_engine, sample_queries
+    ):
+        query = self._spanning_query(small_engine, sample_queries)
+        result = small_engine.execute(query, 4, collect_spans=True)
+        by_worker = {}
+        for span in result.chunk_spans:
+            by_worker.setdefault(span.worker, []).append(span)
+        for spans in by_worker.values():
+            spans.sort(key=lambda s: s.start_s)
+            for earlier, later in zip(spans, spans[1:]):
+                # The gap is the merge step; claims never overlap.
+                assert later.start_s >= earlier.end_s
+
+    def test_termination_marked_only_on_early_exit(
+        self, small_engine, sample_queries
+    ):
+        for query in sample_queries[:20]:
+            if small_engine.plan(query).n_candidate_chunks < 2:
+                continue
+            result = small_engine.execute(query, 2, collect_spans=True)
+            if result.terminated_early:
+                assert result.termination_s is not None
+                assert result.termination_s >= 0
+            else:
+                assert result.termination_s is None

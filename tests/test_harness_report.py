@@ -28,6 +28,26 @@ class TestReport:
         assert "| x | y |" in text
         assert "2 experiments, 2 shape checks, 2 passed / 0 failed" in text
 
+    def test_report_includes_manifest_provenance(self, tmp_path):
+        from repro.obs.export import run_manifest, write_manifest
+
+        _write_result(tmp_path, "e01")
+        write_manifest(
+            run_manifest(seed=7, scale="small", config={"a": 1},
+                         experiments=["e01"], extra={"traced": True}),
+            tmp_path / "manifest.json",
+        )
+        text = generate_report(tmp_path)
+        assert "Provenance" in text
+        assert "- seed: `7`" in text
+        assert "- scale: `small`" in text
+        assert "config_hash" in text and "git_rev" in text
+        assert "e01" in text
+
+    def test_report_without_manifest_has_no_provenance(self, tmp_path):
+        _write_result(tmp_path, "e01")
+        assert "Provenance" not in generate_report(tmp_path)
+
     def test_report_flags_failures(self, tmp_path):
         _write_result(tmp_path, "e01", passed=False)
         text = generate_report(tmp_path)

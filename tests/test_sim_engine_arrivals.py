@@ -85,6 +85,61 @@ class TestSimulator:
         sim.run()
         assert sim.processed_events == 5
 
+    # Horizon-boundary semantics (see Simulator.run docstring) --------
+
+    def test_event_at_exact_horizon_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(5.0, lambda: fired.append("edge"))
+        sim.run(until_s=5.0)
+        assert fired == ["edge"]
+        assert sim.now == 5.0  # reprolint: disable=R004 -- clock is assigned exactly to `until`, not accumulated
+
+    def test_same_instant_chain_at_horizon_fires(self):
+        # An event at the horizon that schedules another event at the
+        # same instant must see that event fire in the same run() call.
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(5.0, lambda: sim.schedule_at(5.0, lambda: fired.append("chained")))
+        sim.run(until_s=5.0)
+        assert fired == ["chained"]
+
+    def test_run_until_now_is_noop(self):
+        sim = Simulator()
+        sim.schedule_at(3.0, lambda: None)
+        sim.run(until_s=3.0)
+        processed = sim.processed_events
+        sim.run(until_s=3.0)  # same-horizon re-run: legal, does nothing
+        assert sim.processed_events == processed
+
+    def test_schedule_at_horizon_after_run_is_legal(self):
+        # run() leaves `now` exactly on the horizon, so scheduling at
+        # that instant afterwards must be accepted, not "in the past".
+        sim = Simulator()
+        fired = []
+        sim.run(until_s=2.0)
+        sim.schedule_at(2.0, lambda: fired.append("late"))
+        sim.run()
+        assert fired == ["late"]
+
+    def test_non_finite_horizon_rejected(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            sim = Simulator()
+            sim.schedule_at(1.0, lambda: None)
+            with pytest.raises(SimulationError, match="finite"):
+                sim.run(until_s=bad)
+            # The failed run must not have touched the clock or queue.
+            assert sim.now == 0.0  # reprolint: disable=R004 -- clock must be untouched, exact zero
+            assert sim.pending_events == 1
+
+    def test_non_finite_event_time_rejected(self):
+        sim = Simulator()
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(SimulationError, match="finite"):
+                sim.schedule_at(bad, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule(float("nan"), lambda: None)
+
 
 class TestPoissonArrivals:
     def test_mean_rate(self, rng):
