@@ -1,6 +1,6 @@
 # Convenience targets for the repro repository.
 
-.PHONY: install test coverage lint reprolint reprolint-sarif bench experiments experiments-small trace-demo report csv clean
+.PHONY: install test coverage lint reprolint reprolint-sarif bench experiments experiments-small e20 trace-demo report csv clean
 
 install:
 	pip install -e .
@@ -44,6 +44,12 @@ experiments:
 
 experiments-small:
 	REPRO_SCALE=small python -m repro --all
+
+# Regime-shift robustness smoke: offline vs online control under
+# nonstationary/adversarial traffic (flash crowd, slow-query flood,
+# query of death) with the anomaly-guarded degradation ladder.
+e20:
+	REPRO_SCALE=small python -m repro e20 --smoke
 
 # Exercise the trace CLI end-to-end: run a traced load point and render
 # the waterfall + timeline report (fast smoke preset).

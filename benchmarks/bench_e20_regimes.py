@@ -1,0 +1,11 @@
+"""E20 — Regime shifts: offline vs online control (robustness layer).
+
+Regenerates this experiment's rows/series (see DESIGN.md §3 and
+EXPERIMENTS.md) and enforces its shape checks.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_e20_regimes(benchmark, ctx, record_result):
+    run_experiment_benchmark(benchmark, ctx, record_result, "e20")

@@ -42,7 +42,7 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiment ids to run (e01..e19)",
+        help="experiment ids to run (e01..e20)",
     )
     parser.add_argument("--all", action="store_true", help="run every experiment")
     parser.add_argument("--list", action="store_true", help="list experiments")
@@ -241,12 +241,79 @@ def _trace_e19(ctx: ExperimentContext, seed: int) -> str:
     )
 
 
+def _trace_e20(ctx: ExperimentContext, seed: int) -> str:
+    from repro.policies.online import (
+        OnlineAdaptivePolicy,
+        OnlineControllerConfig,
+        OnlineDegreeController,
+    )
+    from repro.sim.anomaly import AnomalyGuard, AnomalyGuardConfig
+    from repro.sim.traffic import (
+        FLASH_CROWD,
+        Burst,
+        ClassAwareQuerySampler,
+        DiurnalProfile,
+        RegimeTraffic,
+        TrafficConfig,
+    )
+    from repro.util.rng import RngFactory
+
+    system = ctx.system
+    slo = 2.5 * float(system.service_distribution.percentile(99))
+    horizon = 5.0 * ctx.sim_duration
+    saturation = system.saturation_rate
+    streams = RngFactory(seed + 20)
+    scenario = TrafficConfig(
+        background=DiurnalProfile(base_rate=0.5 * saturation, amplitude=0.15,
+                                  period_s=horizon),
+        bursts=(
+            Burst(kind=FLASH_CROWD, start_s=0.3 * horizon,
+                  duration_s=0.25 * horizon, peak_rate=0.55 * saturation),
+        ),
+    )
+    traffic = RegimeTraffic(scenario, streams, horizon_s=horizon)
+    sampler = ClassAwareQuerySampler(
+        system.cost_table.sequential_latencies(), streams
+    )
+    policy = OnlineAdaptivePolicy(system.threshold_table)
+    window = horizon / 40.0
+    controller = OnlineDegreeController(
+        policy,
+        OnlineControllerConfig(target_p99_s=slo, window_s=window,
+                               max_scale=1.0),
+        tracer=ctx.tracer,
+    )
+    guard = AnomalyGuard(
+        AnomalyGuardConfig(slo_s=slo, window_s=window),
+        policy=policy,
+        tracer=ctx.tracer,
+    )
+    system.run_point(
+        policy,
+        scenario.background.base_rate,
+        duration=horizon,
+        warmup=horizon / 10.0,
+        seed=seed,
+        arrivals=traffic,
+        deadline=slo,
+        max_queue_length=32 * system.n_cores,
+        slo=slo,
+        controllers=(controller, guard),
+        query_sampler=sampler,
+    )
+    return (
+        "online-adaptive through a flash crowd with tail-feedback control "
+        "and the anomaly guard (E20 regime-shift point)"
+    )
+
+
 #: id -> (runner, one-line description shown by --help).
 _TRACE_PRESETS: Dict[str, Tuple[Callable[[ExperimentContext, int], str], str]] = {
     "e05": (_trace_e05, "fixed-degree load point at u=0.3"),
     "e09": (_trace_e09, "adaptive under MMPP2 bursty arrivals"),
     "e12": (_trace_e12, "cluster fan-out with per-shard spans"),
     "e19": (_trace_e19, "adaptive overload point with shedding"),
+    "e20": (_trace_e20, "online control + anomaly guard through a flash crowd"),
 }
 
 

@@ -11,7 +11,7 @@ examples do goes through this class.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.compare import PolicyComparison
 from repro.errors import ConfigurationError
@@ -22,6 +22,7 @@ from repro.policies.base import ParallelismPolicy
 from repro.policies.derivation import derive_threshold_table, scale_table
 from repro.policies.fixed import FixedPolicy, SequentialPolicy
 from repro.policies.incremental import IncrementalPolicy
+from repro.policies.online import OnlineAdaptivePolicy
 from repro.policies.oracle import OraclePolicy
 from repro.policies.predictive import PredictivePolicy
 from repro.policies.predictor import QueryLatencyPredictor
@@ -186,7 +187,7 @@ class AdaptiveSearchSystem:
         """Construct a policy by name.
 
         Supported: ``sequential``, ``fixed-<p>``, ``adaptive``,
-        ``oracle``, ``predictive``, ``incremental``.
+        ``oracle``, ``predictive``, ``incremental``, ``online``.
         """
         if name == "sequential":
             return SequentialPolicy()
@@ -204,6 +205,12 @@ class AdaptiveSearchSystem:
             return PredictivePolicy(self.threshold_table, self.long_query_cutoff)
         if name == "incremental":
             return IncrementalPolicy(self.threshold_table, self.incremental_probe)
+        if name == "online":
+            # Online variant of the adaptive table: same offline-derived
+            # thresholds, runtime-adjustable calibration. Note a fresh
+            # instance per call — controllers mutate their policy, so
+            # callers must not share one across concurrent runs.
+            return OnlineAdaptivePolicy(self.threshold_table)
         raise ConfigurationError(f"unknown policy {name!r}")
 
     # ----------------------------------------------------------------
@@ -212,7 +219,7 @@ class AdaptiveSearchSystem:
 
     def run_point(
         self,
-        policy_name: str,
+        policy_name: Union[str, ParallelismPolicy],
         rate: float,
         duration: float = 20.0,
         warmup: float = 4.0,
@@ -222,11 +229,17 @@ class AdaptiveSearchSystem:
         max_queue_length: Optional[int] = None,
         slo: Optional[float] = None,
         observer: Optional[RunObserver] = None,
+        controllers: Sequence[object] = (),
+        query_sampler: Optional[object] = None,
     ) -> LoadPointSummary:
         """Simulate one load point for one policy.
 
-        ``observer`` overrides the system-level :attr:`tracer`; with
-        neither set the run is untraced.
+        ``policy_name`` may be a factory name or an already-constructed
+        policy instance (online controllers need a handle on the exact
+        instance they steer). ``observer`` overrides the system-level
+        :attr:`tracer`; with neither set the run is untraced.
+        ``controllers`` / ``query_sampler`` pass through to
+        :func:`~repro.sim.experiment.run_load_point`.
         """
         config = LoadPointConfig(
             rate=rate,
@@ -240,9 +253,15 @@ class AdaptiveSearchSystem:
         )
         if observer is None and self.tracer is not None:
             observer = RunObserver(tracer=self.tracer)
+        policy = (
+            policy_name
+            if isinstance(policy_name, ParallelismPolicy)
+            else self.policy(policy_name)
+        )
         return run_load_point(
-            self.oracle, self.policy(policy_name), config, arrivals,
-            observer=observer,
+            self.oracle, policy, config, arrivals,
+            observer=observer, controllers=controllers,
+            query_sampler=query_sampler,
         )
 
     def sweep(

@@ -26,6 +26,7 @@ from repro.harness.experiments import (
     e17_thresholds,
     e18_plan_clamp,
     e19_overload,
+    e20_regimes,
 )
 from repro.harness.result import ExperimentResult
 
@@ -51,6 +52,7 @@ _MODULES = (
     e17_thresholds,
     e18_plan_clamp,
     e19_overload,
+    e20_regimes,
 )
 
 EXPERIMENTS: Dict[str, ExperimentRunner] = {

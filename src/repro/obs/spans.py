@@ -241,6 +241,16 @@ class Tracer:
     def on_timeline(self, meta: Mapping[str, Any], rows: List[Dict[str, Any]]) -> None:
         """A run's sampled metric timeline is complete."""
 
+    def on_lifecycle_event(
+        self, name: str, time_s: float, attrs: Mapping[str, Any] = _EMPTY_ATTRS
+    ) -> None:
+        """A run-level control event fired (``control.adjust``,
+        ``anomaly.alarm``, ``anomaly.degrade``, ``anomaly.recover``).
+
+        Unlike ``on_trace`` these are not tied to a single query: they
+        record the *system's* control decisions so traces can explain
+        why a window of queries ran degraded."""
+
 
 class NullTracer(Tracer):
     """Disabled tracer: zero allocation, zero behavior."""
@@ -260,6 +270,8 @@ class TraceRun:
     meta: Dict[str, Any] = field(default_factory=dict)
     traces: List[QueryTrace] = field(default_factory=list)
     timeline: List[Dict[str, Any]] = field(default_factory=list)
+    #: Run-level control/anomaly lifecycle events, in emission order.
+    events: List[SpanEvent] = field(default_factory=list)
 
 
 class RecordingTracer(Tracer):
@@ -289,10 +301,20 @@ class RecordingTracer(Tracer):
     def on_timeline(self, meta: Mapping[str, Any], rows: List[Dict[str, Any]]) -> None:
         self._current().timeline.extend(rows)
 
+    def on_lifecycle_event(
+        self, name: str, time_s: float, attrs: Mapping[str, Any] = _EMPTY_ATTRS
+    ) -> None:
+        self._current().events.append(SpanEvent(name, time_s, dict(attrs)))
+
     @property
     def traces(self) -> List[QueryTrace]:
         """All traces across runs, in recording order."""
         return [trace for run in self.runs for trace in run.traces]
+
+    @property
+    def lifecycle_events(self) -> List[SpanEvent]:
+        """All run-level lifecycle events across runs, in order."""
+        return [event for run in self.runs for event in run.events]
 
     def clear(self) -> None:
         self.runs = []

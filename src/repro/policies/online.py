@@ -1,0 +1,332 @@
+"""Online degree-threshold control: close the loop the paper leaves open.
+
+The paper's adaptive policy maps instantaneous load to a degree through
+a threshold table derived **offline** from a stationary profile. Under
+regime shifts (diurnal swings, flash crowds, attacks) the offline table
+is mis-calibrated exactly when it matters: thresholds tuned for the
+average regime over-parallelize during overload and under-parallelize
+when the machine is idle.
+
+This module keeps the paper's constant-time dispatch decision but makes
+the *calibration* a runtime quantity:
+
+* :class:`OnlineAdaptivePolicy` wraps a
+  :class:`~repro.policies.adaptive.ThresholdTable` with two runtime
+  knobs — a **threshold scale** (``scale < 1`` inflates the perceived
+  load, narrowing degrees earlier; ``scale > 1`` relaxes it) and a
+  **max-degree cap** (a degradation-mode clamp). Dispatch stays a table
+  lookup.
+* :class:`OnlineDegreeController` is the feedback loop: every control
+  window it reads windowed tail latency and shed rate from the run's
+  :class:`~repro.sim.metrics.MetricsCollector` and nudges the knobs —
+  with a *deadband* (hysteresis) around the tail-latency setpoint and a
+  *bounded multiplicative step*, so the loop is stable under noisy
+  feedback instead of chattering.
+
+The controller mutates only its policy and the server's admission cap;
+it draws randomness (optional tick jitter, which desynchronizes control
+ticks from periodic load structure) exclusively from an explicit
+:class:`~repro.util.rng.RngFactory` named stream, keeping runs
+bit-identical for a given seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from numbers import Real
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.obs.spans import NULL_TRACER, Tracer
+from repro.policies.adaptive import ThresholdTable
+from repro.policies.base import ParallelismPolicy, QueryInfo, SystemState
+from repro.util.rng import RngFactory
+from repro.util.validation import (
+    require,
+    require_in_range,
+    require_int_in_range,
+    require_positive,
+)
+
+
+class OnlineAdaptivePolicy(ParallelismPolicy):
+    """Threshold-table policy with runtime-adjustable calibration.
+
+    With ``scale == 1`` and an unconstrained cap this is exactly the
+    offline :class:`~repro.policies.adaptive.AdaptivePolicy` decision
+    (pinned by tests). The controller moves ``scale`` within configured
+    bounds; the anomaly guard may additionally cap the degree during
+    degradation.
+    """
+
+    def __init__(self, table: ThresholdTable) -> None:
+        self.table = table
+        self.name = "online-adaptive"
+        self._scale = 1.0
+        self._max_degree_cap = table.max_degree
+
+    @property
+    def scale(self) -> float:
+        """Current threshold scale (1.0 = the offline calibration)."""
+        return self._scale
+
+    @property
+    def max_degree_cap(self) -> int:
+        """Current degradation cap on granted degrees."""
+        return self._max_degree_cap
+
+    def apply_control(
+        self,
+        scale: Optional[float] = None,
+        max_degree_cap: Optional[int] = None,
+    ) -> None:
+        """Install new control outputs (validated; partial updates ok)."""
+        if scale is not None:
+            if not isinstance(scale, Real) or not math.isfinite(scale) or scale <= 0:
+                raise ConfigurationError(
+                    f"scale must be a finite number > 0, got {scale!r}"
+                )
+            self._scale = float(scale)
+        if max_degree_cap is not None:
+            require_int_in_range(
+                max_degree_cap, "max_degree_cap", low=1,
+                high=self.table.max_degree,
+            )
+            self._max_degree_cap = max_degree_cap
+
+    def choose_degree(self, state: SystemState, info: QueryInfo) -> int:
+        # Scaling the load measure is equivalent to scaling every table
+        # limit but keeps the lookup exact on integer loads: perceived
+        # load is n/scale, so scale < 1 reaches the narrow-degree rows
+        # of the table at lower true load.
+        n_effective = max(1, int(math.ceil(state.n_in_system / self._scale)))
+        degree = self.table.degree_for(n_effective)
+        return self._validate(min(degree, self._max_degree_cap))
+
+    def __repr__(self) -> str:
+        return (
+            f"OnlineAdaptivePolicy(scale={self._scale:.3f}, "
+            f"cap={self._max_degree_cap}, {self.table.describe()})"
+        )
+
+
+@dataclass(frozen=True)
+class OnlineControllerConfig:
+    """Feedback-loop parameters for :class:`OnlineDegreeController`.
+
+    ``target_p99_s`` is the tail-latency setpoint (normally the SLO);
+    the controller leaves the policy alone while windowed P99 stays
+    inside ``target · (1 ± deadband)`` — the hysteresis band that
+    prevents limit cycles — and otherwise moves the threshold scale by
+    at most a factor of ``(1 ± step)`` per window, clamped to
+    ``[min_scale, max_scale]``.
+    """
+
+    target_p99_s: float
+    window_s: float
+    step: float = 0.25
+    deadband: float = 0.15
+    min_scale: float = 0.25
+    max_scale: float = 2.0
+    #: Shed-rate level treated as overload regardless of observed P99
+    #: (under deep overload completions are censored survivors: the
+    #: queries that would have dragged P99 up were shed, so the latency
+    #: signal alone under-reports distress).
+    shed_rate_high: float = 0.05
+    #: Minimum windowed completions before the latency signal is
+    #: trusted; windows with fewer observations leave the knobs alone.
+    min_samples: int = 8
+    #: Optional uniform jitter on tick spacing, as a fraction of
+    #: ``window_s`` (0 = strictly periodic ticks). Jitter draws come
+    #: from the controller's named RNG stream.
+    jitter_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.target_p99_s, "target_p99_s")
+        require_positive(self.window_s, "window_s")
+        require_in_range(
+            self.step, "step", low=0.0, high=1.0,
+            low_inclusive=False, high_inclusive=False,
+        )
+        require_in_range(
+            self.deadband, "deadband", low=0.0, high=1.0, high_inclusive=False
+        )
+        require_positive(self.min_scale, "min_scale")
+        require(
+            self.max_scale >= self.min_scale,
+            f"max_scale ({self.max_scale}) must be >= min_scale "
+            f"({self.min_scale})",
+        )
+        require_in_range(
+            self.shed_rate_high, "shed_rate_high", low=0.0, high=1.0,
+            low_inclusive=False,
+        )
+        require_int_in_range(self.min_samples, "min_samples", low=1)
+        require_in_range(
+            self.jitter_fraction, "jitter_fraction", low=0.0, high=0.5
+        )
+
+
+@dataclass(frozen=True)
+class ControlDecision:
+    """One control-tick record (kept for tests and offline analysis)."""
+
+    time_s: float
+    p99_s: float  # windowed observed P99 (nan when too few samples)
+    shed_rate: float  # windowed shed fraction of demand
+    n_completed: int
+    n_shed: int
+    scale: float  # scale in force *after* this tick
+    action: str  # "tighten" | "relax" | "hold"
+
+
+class OnlineDegreeController:
+    """Windowed tail-latency/shed-rate feedback onto an online policy.
+
+    Attach one to a run via
+    :func:`repro.sim.experiment.run_load_point`'s ``controllers``
+    argument. Each tick it reads the completions and sheds recorded by
+    the run's :class:`~repro.sim.metrics.MetricsCollector` since the
+    previous tick — the same accounting the obs metric timelines sample
+    — computes windowed P99 and shed rate, and applies a bounded,
+    hysteresis-guarded multiplicative update to the policy's threshold
+    scale. Decisions are recorded in :attr:`decisions` and emitted as
+    ``control.adjust`` lifecycle events on the tracer.
+    """
+
+    def __init__(
+        self,
+        policy: OnlineAdaptivePolicy,
+        config: OnlineControllerConfig,
+        streams: Optional[RngFactory] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if not isinstance(policy, OnlineAdaptivePolicy):
+            raise ConfigurationError(
+                "OnlineDegreeController requires an OnlineAdaptivePolicy, "
+                f"got {type(policy).__name__}"
+            )
+        if config.jitter_fraction > 0.0 and streams is None:
+            raise ConfigurationError(
+                "jitter_fraction > 0 requires an RngFactory (the "
+                "controller never draws from an implicit global stream)"
+            )
+        self.policy = policy
+        self.config = config
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._jitter_rng = (
+            streams.stream("controller", "jitter")
+            if streams is not None and config.jitter_fraction > 0.0
+            else None
+        )
+        self.decisions: List[ControlDecision] = []
+        self._simulator: Any = None
+        self._collector: Any = None
+        self._horizon_s = 0.0
+        self._record_cursor = 0
+        self._shed_cursor = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def attach(
+        self, simulator: Any, server: Any, collector: Any, horizon_s: float
+    ) -> None:
+        """Schedule control ticks on the driving simulator."""
+        del server  # the degree controller acts through the policy only
+        self._simulator = simulator
+        self._collector = collector
+        self._horizon_s = float(horizon_s)
+        simulator.schedule(self._tick_delay_s(), self._tick)
+
+    def _tick_delay_s(self) -> float:
+        delay_s = self.config.window_s
+        if self._jitter_rng is not None:
+            spread = self.config.jitter_fraction * self.config.window_s
+            delay_s += float(self._jitter_rng.uniform(-spread, spread))
+        return delay_s
+
+    # ------------------------------------------------------------------
+    # Control law
+    # ------------------------------------------------------------------
+
+    def _window_feedback(self) -> Tuple[float, float, int, int]:
+        """(p99_s, shed_rate, n_completed, n_shed) since the last tick."""
+        records = self._collector.records
+        fresh = records[self._record_cursor:]
+        self._record_cursor = len(records)
+        n_shed_total = self._collector.n_shed
+        n_shed = n_shed_total - self._shed_cursor
+        self._shed_cursor = n_shed_total
+        n_completed = len(fresh)
+        demand = n_completed + n_shed
+        shed_rate = n_shed / demand if demand else 0.0
+        if n_completed >= self.config.min_samples:
+            latencies = np.asarray([r.latency for r in fresh], dtype=np.float64)
+            p99_s = float(np.percentile(latencies, 99))
+        else:
+            p99_s = float("nan")
+        return p99_s, shed_rate, n_completed, n_shed
+
+    def _tick(self) -> None:
+        config = self.config
+        p99_s, shed_rate, n_completed, n_shed = self._window_feedback()
+        high_bar_s = config.target_p99_s * (1.0 + config.deadband)
+        low_bar_s = config.target_p99_s * (1.0 - config.deadband)
+        overloaded = shed_rate > config.shed_rate_high or (
+            not math.isnan(p99_s) and p99_s > high_bar_s
+        )
+        calm = (
+            shed_rate == 0.0
+            and not math.isnan(p99_s)
+            and p99_s < low_bar_s
+        )
+        scale = self.policy.scale
+        if overloaded:
+            action = "tighten"
+            scale = max(config.min_scale, scale * (1.0 - config.step))
+        elif calm:
+            action = "relax"
+            scale = min(config.max_scale, scale * (1.0 + config.step))
+        else:
+            action = "hold"
+        if action != "hold":
+            self.policy.apply_control(scale=scale)
+        now_s = self._simulator.now
+        self.decisions.append(
+            ControlDecision(
+                time_s=now_s,
+                p99_s=p99_s,
+                shed_rate=shed_rate,
+                n_completed=n_completed,
+                n_shed=n_shed,
+                scale=self.policy.scale,
+                action=action,
+            )
+        )
+        if self.tracer.enabled and action != "hold":
+            self.tracer.on_lifecycle_event(
+                "control.adjust",
+                now_s,
+                {
+                    "action": action,
+                    "scale": self.policy.scale,
+                    "p99_s": p99_s,
+                    "shed_rate": shed_rate,
+                },
+            )
+        next_delay_s = self._tick_delay_s()
+        if now_s + next_delay_s <= self._horizon_s:
+            self._simulator.schedule(next_delay_s, self._tick)
+
+
+__all__ = [
+    "OnlineAdaptivePolicy",
+    "OnlineControllerConfig",
+    "OnlineDegreeController",
+    "ControlDecision",
+]

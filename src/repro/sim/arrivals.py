@@ -136,7 +136,14 @@ class MMPP2Arrivals(ArrivalProcess):
         elapsed = 0.0
         while True:
             candidate_s = float(self._rng.exponential(1.0 / self._current_rate()))
-            if candidate_s <= self._dwell_remaining_s:
+            # Strict inequality: regime windows are half-open
+            # [switch, next_switch), so a candidate landing exactly on
+            # the dwell boundary belongs to the *new* regime and must be
+            # re-sampled at the new rate rather than accepted at the old
+            # one. (For float exponentials the boundary has measure
+            # zero, so stationary outputs are unchanged; the distinction
+            # matters for deterministic regression inputs.)
+            if candidate_s < self._dwell_remaining_s:
                 self._dwell_remaining_s -= candidate_s
                 return elapsed + candidate_s
             elapsed += self._dwell_remaining_s

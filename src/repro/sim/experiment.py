@@ -99,6 +99,8 @@ def run_load_point(
     config: LoadPointConfig,
     arrivals: Optional[ArrivalProcess] = None,
     observer: Optional[RunObserver] = None,
+    controllers: Sequence[object] = (),
+    query_sampler: Optional[object] = None,
 ) -> LoadPointSummary:
     """Simulate one load point and summarize it.
 
@@ -106,6 +108,21 @@ def run_load_point(
     span traces via the observer's tracer, plus a metric timeline
     sampled on a virtual-time ticker. Observation is read-only — a
     traced run produces a summary bit-identical to an untraced one.
+
+    ``controllers`` (opt-in) are online control loops — objects with an
+    ``attach(simulator, server, collector, horizon_s)`` method, e.g.
+    :class:`~repro.policies.online.OnlineDegreeController` or
+    :class:`~repro.sim.anomaly.AnomalyGuard` — scheduled onto the run's
+    simulator before arrivals start. Unlike observers they *may* mutate
+    policy/server knobs at runtime; with the default empty tuple the
+    run is bit-identical to the pre-control code path.
+
+    ``query_sampler`` (opt-in) maps each arrival's traffic class (the
+    arrival process's ``last_class`` attribute, e.g. from
+    :class:`~repro.sim.traffic.RegimeTraffic`) to a query index via its
+    ``sample(arrival_class)`` method, replacing the uniform draw from
+    the run's ``sample`` stream. Class labels also flow into
+    ``server.submit(query_class=...)`` for class-based shedding.
     """
     # Position-independent child streams (see util/rng.py docstring).
     streams = RngFactory(config.seed)
@@ -129,11 +146,21 @@ def run_load_point(
             warmup=config.warmup, n_cores=config.n_cores, seed=config.seed,
         )
         observer.attach(simulator, server, metrics, horizon_s=config.duration)
+    for controller in controllers:
+        controller.attach(simulator, server, metrics, horizon_s=config.duration)
 
     n_queries = oracle.n_queries
 
     def arrive() -> None:
-        server.submit(int(sample_rng.integers(n_queries)))
+        # The class label belongs to the arrival scheduled by the most
+        # recent next_interarrival() call — read it before schedule_next
+        # overwrites it with the following arrival's label.
+        arrival_class = getattr(arrivals, "last_class", None)
+        if query_sampler is not None:
+            query_index = int(query_sampler.sample(arrival_class))
+        else:
+            query_index = int(sample_rng.integers(n_queries))
+        server.submit(query_index, query_class=arrival_class)
         schedule_next()
 
     def schedule_next() -> None:

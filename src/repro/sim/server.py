@@ -135,6 +135,11 @@ class IndexServerModel:
         # the original model).
         self.deadline = deadline
         self.max_queue_length = max_queue_length
+        # Class-based shedding (anomaly-guard degradation): when set to a
+        # collection of class labels, arrivals submitted with a matching
+        # ``query_class`` are dropped at the front door with reason
+        # "class". None (the default) disables the check entirely.
+        self.shed_classes: Optional[Any] = None
         self.faults = faults if faults is not None and faults.has_faults else None
         # Optional hook fired as (query_index, tag, reason, now) when a
         # query is dropped; the cluster aggregator uses it to release
@@ -154,9 +159,13 @@ class IndexServerModel:
     # External interface
     # ----------------------------------------------------------------
 
-    def submit(self, query_index: int, tag: Any = None) -> None:
+    def submit(
+        self, query_index: int, tag: Any = None, query_class: Optional[str] = None
+    ) -> None:
         """A query arrives now. ``tag`` is opaque correlation state passed
-        to ``on_query_complete`` (used by the cluster aggregator)."""
+        to ``on_query_complete`` (used by the cluster aggregator);
+        ``query_class`` is an optional traffic-class label consulted by
+        class-based shedding during anomaly degradation."""
         self.metrics.on_arrival()
         trace: Optional[QueryTraceBuilder] = None
         if self.tracer.enabled:
@@ -165,6 +174,13 @@ class IndexServerModel:
                 server_id=self.server_id,
             )
         self._n_submitted += 1
+        if (
+            self.shed_classes is not None
+            and query_class is not None
+            and query_class in self.shed_classes
+        ):
+            self._shed(query_index, tag, self.simulator.now, "class", trace)
+            return
         if (
             self.max_queue_length is not None
             and len(self._queue) >= self.max_queue_length

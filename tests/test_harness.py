@@ -22,7 +22,7 @@ def ctx():
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        assert sorted(EXPERIMENTS) == [f"e{i:02d}" for i in range(1, 20)]
+        assert sorted(EXPERIMENTS) == [f"e{i:02d}" for i in range(1, 21)]
 
     def test_titles_present(self):
         assert all(TITLES[eid] for eid in EXPERIMENTS)

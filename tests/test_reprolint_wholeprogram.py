@@ -137,23 +137,23 @@ class TestRealTreeMutations:
 
     def test_r013_dropping_experiment_from_registry(self, tmp_path):
         # Copy the full package (R013 needs registry + experiments
-        # together), then delete e19_overload from _MODULES: the module
+        # together), then delete e20_regimes from _MODULES: the module
         # still defines EXPERIMENT_ID but is no longer runnable by id.
         tree = tmp_path / "repro"
         shutil.copytree(REPO_ROOT / "src/repro", tree)
         registry = tree / "harness" / "registry.py"
         text = registry.read_text()
         # The import block ends identically, so anchor on the tuple's
-        # unique tail: drop e19 from _MODULES but keep its import, making
+        # unique tail: drop e20 from _MODULES but keep its import, making
         # registration the only difference.
-        anchor = "    e19_overload,\n)\n\nEXPERIMENTS"
+        anchor = "    e20_regimes,\n)\n\nEXPERIMENTS"
         assert anchor in text
         registry.write_text(text.replace(anchor, ")\n\nEXPERIMENTS", 1))
         result = lint_paths([str(tree)], select=["R013"])
         assert [f.rule_id for f in result.findings] == ["R013"]
         finding = result.findings[0]
-        assert Path(finding.path).name == "e19_overload.py"
-        assert "e19" in finding.message
+        assert Path(finding.path).name == "e20_regimes.py"
+        assert "e20" in finding.message
 
     def test_r013_clean_on_real_tree(self, tmp_path):
         tree = tmp_path / "repro"

@@ -222,3 +222,45 @@ class TestTraceArrivals:
     def test_negative_rejected(self):
         with pytest.raises(ConfigurationError):
             TraceArrivals([-1.0, 1.0])
+
+
+class TestMMPP2RegimeBoundary:
+    """Regression: a candidate landing exactly on the dwell boundary
+    belongs to the *new* regime (half-open [switch, next_switch)
+    windows) and must be re-sampled at the new rate, not accepted at
+    the old one."""
+
+    class _ScriptedRng:
+        """Stands in for a Generator; replays scripted exponentials and
+        records the scale of every draw."""
+
+        def __init__(self, values):
+            self._values = list(values)
+            self.scales = []
+
+        def exponential(self, scale):
+            self.scales.append(scale)
+            return self._values.pop(0)
+
+    def test_boundary_candidate_resampled_in_new_regime(self):
+        # Draw order: initial low dwell (5.0), low-rate candidate
+        # exactly on the boundary (5.0), high dwell after the switch
+        # (10.0), high-rate candidate (0.25).
+        rng = self._ScriptedRng([5.0, 5.0, 10.0, 0.25])
+        process = MMPP2Arrivals(
+            rate_low=2.0, rate_high=8.0,
+            mean_dwell_low_s=1.0, mean_dwell_high_s=3.0,
+            rng=rng,
+        )
+        gap = process.next_interarrival()
+        # The boundary candidate was NOT accepted at the old rate (which
+        # would have returned exactly 5.0): the process switched state
+        # and re-sampled, so the arrival lands 0.25 into the high
+        # regime.
+        assert gap == 5.25
+        assert process._in_high
+        # The re-sample after the switch was drawn at the HIGH rate and
+        # the new dwell at the high-state mean.
+        assert rng.scales == [1.0, 1.0 / 2.0, 3.0, 1.0 / 8.0]
+        # The accepted gap was debited from the new regime's dwell.
+        assert process._dwell_remaining_s == pytest.approx(9.75)
