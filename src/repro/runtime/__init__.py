@@ -1,0 +1,16 @@
+"""Wall-clock runtime drivers.
+
+The counterpart of :mod:`repro.sim`: where the simulator drives the
+scheduling kernel on virtual time, this package hosts the pieces that
+drive it on *wall* time — today just :class:`~repro.runtime.clock.
+WallClock`, the live implementation of the kernel's ``ClockProtocol``;
+the asyncio serving front door lands here next (see ROADMAP.md).
+
+Layering (enforced by reprolint R014): ``runtime`` may use the kernel,
+models, and observability, but the kernel never imports ``runtime`` —
+it only ever sees :class:`repro.core.clock.ClockProtocol`.
+"""
+
+from repro.runtime.clock import WallClock
+
+__all__ = ["WallClock"]

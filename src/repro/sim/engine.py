@@ -11,6 +11,7 @@ import heapq
 import math
 from typing import Callable, List, Optional, Tuple
 
+from repro.core.clock import VirtualClock
 from repro.errors import SimulationError
 
 EventCallback = Callable[[], None]
@@ -20,14 +21,22 @@ class Simulator:
     """Event loop with virtual time."""
 
     def __init__(self) -> None:
-        self._now = 0.0
+        # Virtual time lives in the kernel's clock type: the simulator
+        # is "a driver that advances a VirtualClock", which is exactly
+        # the shape the wall-clock runtime mirrors (see core/clock.py).
+        self._clock = VirtualClock()
         self._sequence = 0
         self._heap: List[Tuple[float, int, EventCallback]] = []
         self._processed = 0
 
     @property
     def now(self) -> float:
-        return self._now
+        return self._clock.now
+
+    @property
+    def clock(self) -> VirtualClock:
+        """The kernel clock this event loop advances."""
+        return self._clock
 
     @property
     def pending_events(self) -> int:
@@ -41,9 +50,9 @@ class Simulator:
         """Schedule ``callback`` at absolute virtual ``time_s`` (seconds)."""
         if not math.isfinite(time_s):
             raise SimulationError(f"event time must be finite, got {time_s}")
-        if time_s < self._now:
+        if time_s < self._clock.now:
             raise SimulationError(
-                f"cannot schedule in the past: {time_s} < now {self._now}"
+                f"cannot schedule in the past: {time_s} < now {self._clock.now}"
             )
         heapq.heappush(self._heap, (time_s, self._sequence, callback))
         self._sequence += 1
@@ -52,14 +61,14 @@ class Simulator:
         """Schedule ``callback`` after ``delay_s`` seconds of virtual time."""
         if delay_s < 0:
             raise SimulationError(f"delay must be >= 0, got {delay_s}")
-        self.schedule_at(self._now + delay_s, callback)
+        self.schedule_at(self._clock.now + delay_s, callback)
 
     def step(self) -> bool:
         """Process one event; returns False if none remain."""
         if not self._heap:
             return False
         time_s, _, callback = heapq.heappop(self._heap)
-        self._now = time_s
+        self._clock.advance_to(time_s)
         self._processed += 1
         callback()
         return True
@@ -86,14 +95,16 @@ class Simulator:
             return
         if not math.isfinite(until_s):
             raise SimulationError(f"horizon must be finite, got {until_s}")
-        if until_s < self._now:
-            raise SimulationError(f"horizon {until_s} is before now {self._now}")
+        if until_s < self._clock.now:
+            raise SimulationError(
+                f"horizon {until_s} is before now {self._clock.now}"
+            )
         while self._heap and self._heap[0][0] <= until_s:
             self.step()
-        self._now = until_s
+        self._clock.advance_to(until_s)
 
     def __repr__(self) -> str:
         return (
-            f"Simulator(now={self._now:.6f}, pending={self.pending_events}, "
+            f"Simulator(now={self._clock.now:.6f}, pending={self.pending_events}, "
             f"processed={self._processed})"
         )

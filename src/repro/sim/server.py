@@ -51,9 +51,17 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Deque, Optional
 
+from repro.core.scheduling import (
+    admission_decision,
+    deadline_exceeded,
+    grant_degree,
+    observe_state,
+    plan_escalation,
+    plan_initial_phase,
+)
 from repro.errors import SimulationError
 from repro.obs.spans import NULL_TRACER, QueryTraceBuilder, Tracer
-from repro.policies.base import ParallelismPolicy, SystemState
+from repro.policies.base import ParallelismPolicy
 from repro.sim.engine import Simulator
 from repro.sim.faults import FaultSchedule
 from repro.sim.metrics import MetricsCollector, QueryRecord
@@ -174,18 +182,12 @@ class IndexServerModel:
                 server_id=self.server_id,
             )
         self._n_submitted += 1
-        if (
-            self.shed_classes is not None
-            and query_class is not None
-            and query_class in self.shed_classes
-        ):
-            self._shed(query_index, tag, self.simulator.now, "class", trace)
-            return
-        if (
-            self.max_queue_length is not None
-            and len(self._queue) >= self.max_queue_length
-        ):
-            self._shed(query_index, tag, self.simulator.now, "admission", trace)
+        shed_reason = admission_decision(
+            query_class, self.shed_classes, len(self._queue),
+            self.max_queue_length,
+        )
+        if shed_reason is not None:
+            self._shed(query_index, tag, self.simulator.now, shed_reason, trace)
             return
         job = _Job(query_index, self.simulator.now, tag)
         job.trace = trace
@@ -225,9 +227,8 @@ class IndexServerModel:
             # cannot cover its expected service time (a negative
             # prediction degrades to wait-only shedding).
             if self.deadline is not None:
-                wait = now - job.arrival
                 expected = self.oracle.expected_sequential_latency(job.query_index)
-                if wait >= self.deadline or wait + max(0.0, expected) > self.deadline:
+                if deadline_exceeded(now, job.arrival, self.deadline, expected):
                     self._shed(job.query_index, job.tag, job.arrival, "deadline",
                                job.trace)
                     shed_this_cycle = True
@@ -238,25 +239,26 @@ class IndexServerModel:
                            job.trace)
                 shed_this_cycle = True
                 continue
-            state = SystemState(
+            state = observe_state(
                 now=now,
                 n_queued=len(self._queue),
                 n_running=self.n_running,
                 free_cores=self.free_cores,
                 n_cores=self.n_cores,
                 n_shed=self.n_shed,
-                overloaded=shed_this_cycle
-                or (
-                    self.max_queue_length is not None
-                    and len(self._queue) >= self.max_queue_length
-                ),
+                shed_this_cycle=shed_this_cycle,
+                max_queue_length=self.max_queue_length,
             )
             info = self.oracle.info(job.query_index)
             requested = self.policy.choose_degree(state, info)
-            cap = min(requested, self.free_cores)
-            if self.clamp_to_plan:
-                cap = min(cap, self.oracle.plan_chunk_limit(job.query_index))
-            granted = self.oracle.clamp_degree(max(1, cap))
+            granted = grant_degree(
+                requested,
+                self.free_cores,
+                self.oracle.clamp_degree,
+                self.oracle.plan_chunk_limit(job.query_index)
+                if self.clamp_to_plan
+                else None,
+            )
             job.start = self.simulator.now
             if job.trace is not None:
                 job.trace.degree_granted(
@@ -270,22 +272,17 @@ class IndexServerModel:
             )
             probe = getattr(self.policy, "probe_time", None)
             t1 = self.oracle.sequential_latency(job.query_index)
-            if probe is not None:
-                # Incremental execution: everything starts sequentially.
-                # Queries that outlive the probe escalate to `granted`
-                # workers (re-clamped at escalation time); shorter ones
-                # finish inside the probe and never pay parallel costs.
-                if granted > 1 and t1 > probe:
-                    job.probe_time = float(probe)
-                    job.escalation_degree = granted
-                    self._start_phase(job, degree=1,
-                                      duration=float(probe) * slowdown,
-                                      kind="probe")
-                else:
-                    self._start_phase(job, degree=1, duration=t1 * slowdown)
-            else:
-                duration = self.oracle.latency(job.query_index, granted)
-                self._start_phase(job, degree=granted, duration=duration * slowdown)
+            # Incremental policies (probe set) start sequentially;
+            # queries that outlive the probe carry an escalation plan.
+            plan = plan_initial_phase(
+                granted, probe, t1,
+                lambda d: self.oracle.latency(job.query_index, d),
+                slowdown,
+            )
+            job.probe_time = plan.probe_time
+            job.escalation_degree = plan.escalation_degree
+            self._start_phase(job, degree=plan.degree,
+                              duration=plan.duration, kind=plan.kind)
 
     def _start_phase(
         self, job: _Job, degree: int, duration: float, kind: str = "gang"
@@ -323,21 +320,22 @@ class IndexServerModel:
         job.escalation_degree = None
         job.probe_time = None
         t1 = self.oracle.sequential_latency(job.query_index)
-        # Grab up to `target` cores, but never stall: at worst continue
-        # sequentially on the one core the probe was using.
-        actual = self.oracle.clamp_degree(max(1, min(target, self.free_cores)))
+        slowdown = (
+            self.faults.multiplier_at(self.simulator.now)
+            if self.faults is not None
+            else 1.0
+        )
+        plan = plan_escalation(
+            target, probe, t1, self.free_cores,
+            self.oracle.clamp_degree,
+            lambda d: self.oracle.latency(job.query_index, d),
+            slowdown,
+        )
         if job.trace is not None:
-            job.trace.escalated(self.simulator.now, target=target, actual=actual)
-        remaining_fraction = max(0.0, 1.0 - probe / t1)
-        if actual == 1:
-            duration = t1 * remaining_fraction
-        else:
-            # Approximation (documented in DESIGN.md): the remaining work
-            # parallelizes like the whole query does at this degree.
-            duration = self.oracle.latency(job.query_index, actual) * remaining_fraction
-        if self.faults is not None:
-            duration *= self.faults.multiplier_at(self.simulator.now)
-        self._start_phase(job, degree=actual, duration=duration, kind="escalated")
+            job.trace.escalated(self.simulator.now, target=target,
+                                actual=plan.degree)
+        self._start_phase(job, degree=plan.degree, duration=plan.duration,
+                          kind=plan.kind)
 
     def _complete(self, job: _Job) -> None:
         self.n_running -= 1

@@ -1,0 +1,36 @@
+"""Golden regression: representative experiments are bit-identical.
+
+The clock/scheduling extraction (core/clock.py, core/scheduling.py)
+moved every dispatch decision out of ``sim/server.py`` with the promise
+that results change by *zero bits*. These goldens were captured at small
+scale before the refactor; e05 (fixed-degree load sweep), e09 (bursty
+MMPP2 arrivals with adaptive probing), and e19 (overload: deadlines,
+shedding, faults, hedging) jointly cover admission, deadline shedding,
+degree granting, probe planning, and escalation — the full extracted
+surface.
+
+If a change legitimately alters results (new model semantics, not a
+refactor), regenerate with ``python -m repro --scale small --json-dir
+<dir> e05 e09 e19`` (re-serialize with ``json.dumps(..., sort_keys=True,
+indent=2)`` as below) and document why in the commit message.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness.context import ExperimentContext, Scale
+from repro.harness.registry import run_experiment
+
+GOLDEN = Path(__file__).resolve().parent / "fixtures" / "golden"
+
+
+@pytest.mark.parametrize("experiment_id", ["e05", "e09", "e19"])
+def test_small_scale_output_matches_golden(experiment_id):
+    result = run_experiment(
+        experiment_id, ExperimentContext(scale=Scale.SMALL)
+    )
+    text = json.dumps(result.to_json(), sort_keys=True, indent=2) + "\n"
+    golden = (GOLDEN / f"{experiment_id}.small.json").read_text()
+    assert text == golden
