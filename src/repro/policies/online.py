@@ -39,6 +39,7 @@ from typing import Any, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.clock import SchedulerProtocol
 from repro.errors import ConfigurationError
 from repro.obs.spans import NULL_TRACER, Tracer
 from repro.policies.adaptive import ThresholdTable
@@ -223,7 +224,10 @@ class OnlineDegreeController:
             else None
         )
         self.decisions: List[ControlDecision] = []
-        self._simulator: Any = None
+        # The driving event loop, seen only through the kernel's clock/
+        # scheduler protocol: the controller reads time and schedules
+        # ticks, and never learns whether the seconds are virtual or wall.
+        self._clock: Optional[SchedulerProtocol] = None
         self._collector: Any = None
         self._horizon_s = 0.0
         self._record_cursor = 0
@@ -234,11 +238,14 @@ class OnlineDegreeController:
     # ------------------------------------------------------------------
 
     def attach(
-        self, simulator: Any, server: Any, collector: Any, horizon_s: float
+        self, simulator: SchedulerProtocol, server: Any, collector: Any,
+        horizon_s: float,
     ) -> None:
-        """Schedule control ticks on the driving simulator."""
+        """Schedule control ticks on the driving event loop (any
+        SchedulerProtocol: the virtual-time simulator or a wall-clock
+        runtime adapter)."""
         del server  # the degree controller acts through the policy only
-        self._simulator = simulator
+        self._clock = simulator
         self._collector = collector
         self._horizon_s = float(horizon_s)
         simulator.schedule(self._tick_delay_s(), self._tick)
@@ -296,7 +303,7 @@ class OnlineDegreeController:
             action = "hold"
         if action != "hold":
             self.policy.apply_control(scale=scale)
-        now_s = self._simulator.now
+        now_s = self._clock.now
         self.decisions.append(
             ControlDecision(
                 time_s=now_s,
@@ -321,7 +328,7 @@ class OnlineDegreeController:
             )
         next_delay_s = self._tick_delay_s()
         if now_s + next_delay_s <= self._horizon_s:
-            self._simulator.schedule(next_delay_s, self._tick)
+            self._clock.schedule(next_delay_s, self._tick)
 
 
 __all__ = [
