@@ -103,6 +103,9 @@ class QueryPlan:
         if n == 0:
             return bounds
         relevance = np.zeros(n, dtype=np.float64)
+        # Shared all-zeros row for terms with no chunks at all (ANY mode
+        # only); read-only below, so one allocation serves every term.
+        absent = np.zeros(n, dtype=np.float64)
         for plist in self.posting_lists:
             # Max impact of this term within each candidate chunk (0 when
             # the term is absent — possible in ANY mode only).
@@ -112,7 +115,7 @@ class QueryPlan:
                 present = plist.chunk_ids[idx_clipped] == self.candidate_chunks
                 per_chunk = np.where(present, plist.chunk_max_impact[idx_clipped], 0.0)
             else:
-                per_chunk = np.zeros(n, dtype=np.float64)
+                per_chunk = absent
             # Suffix max over the candidate list, then sum across terms:
             # any remaining doc scores at most the sum of the remaining
             # per-term maxima.
