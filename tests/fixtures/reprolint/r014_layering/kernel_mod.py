@@ -1,0 +1,44 @@
+"""Kernel-layer module: clock-agnostic, sees only foundation. Never
+executed — the circular import with ``sim_mod`` is deliberate fixture
+material (both files are only ever parsed)."""
+
+import time  # EXPECT:R014
+
+import sim_mod  # EXPECT:R014
+import util_mod
+from datetime import datetime  # EXPECT:R014
+from sim_mod import SimDriver  # EXPECT:R014
+
+
+class FakeClock:
+    """Sanctioned clock type (listed in layers.toml clock_classes)."""
+
+    @property
+    def now(self) -> float:
+        return 0.0
+
+
+def good_read(clock: FakeClock) -> float:
+    return clock.now  # typed as a clock class: sanctioned
+
+
+def named_read(sim_clock) -> float:
+    return sim_clock.now  # receiver *named* like a clock: sanctioned
+
+
+def bad_read(engine) -> float:
+    return engine.now  # EXPECT:R014
+
+
+def drive(driver: SimDriver) -> None:
+    driver.run()  # EXPECT:R014
+
+
+def lazy_event_loop() -> None:
+    import asyncio  # reprolint: disable=R014 -- fixture: suppression demo
+
+    del asyncio
+
+
+def decide(queue_length: int) -> float:
+    return util_mod.clamp(float(queue_length), 0.0, 8.0)

@@ -1,0 +1,17 @@
+"""Sim-layer module: may see foundation and kernel. Never executed."""
+
+import time
+
+import kernel_mod
+import util_mod
+
+
+class SimDriver:
+    """Virtual-time driver; downward imports above are all legal."""
+
+    def __init__(self) -> None:
+        self.started_at = time.monotonic()  # sim layer: time is fine
+
+    def run(self) -> float:
+        kernel_mod.good_read(kernel_mod.FakeClock())
+        return util_mod.clamp(1.0, 0.0, 2.0)

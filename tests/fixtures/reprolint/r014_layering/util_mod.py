@@ -1,0 +1,5 @@
+"""Foundation-layer module: importable from everywhere. Never executed."""
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    return min(max(value, low), high)

@@ -1,0 +1,71 @@
+"""R015 fixture: blocking calls in async defs, dropped coroutines, and
+an async/thread shared-state race. Never imported or executed."""
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from time import sleep
+
+import time
+
+
+async def fetch_config(path) -> str:
+    time.sleep(0.1)  # EXPECT:R015
+    sleep(0.1)  # EXPECT:R015
+    handle = open("config.toml")  # EXPECT:R015
+    handle.close()
+    raw = path.read_text()  # EXPECT:R015
+    await asyncio.sleep(0.1)  # awaited async sleep: fine
+    return raw
+
+
+class Gate:
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+
+    async def enter(self) -> None:
+        self.lock.acquire()  # EXPECT:R015
+
+    async def enter_bounded(self) -> None:
+        self.lock.acquire(timeout=0.1)  # bounded: cannot deadlock the loop
+
+
+async def do_work() -> None:
+    await asyncio.sleep(0.0)
+
+
+async def kickoff() -> None:
+    do_work()  # EXPECT:R015
+    await do_work()  # awaited: fine
+    asyncio.create_task(do_work())  # handed to a sink: fine
+
+
+def sync_kickoff() -> None:
+    do_work()  # EXPECT:R015
+
+
+class Bridge:
+    """Writes self.tally from an async task AND a thread worker."""
+
+    def __init__(self) -> None:
+        self.tally = 0
+        self.lock = threading.Lock()
+
+    async def on_result(self) -> None:
+        self.tally += 1  # EXPECT:R015
+
+    async def on_result_locked(self) -> None:
+        with self.lock:
+            self.tally += 1  # under the lock: fine
+
+    def pump(self, n_workers: int) -> None:
+        def worker() -> None:
+            self.tally += 1  # thread-side write (reported on the async side)
+
+        with ThreadPoolExecutor(max_workers=n_workers) as pool:
+            for _ in range(n_workers):
+                pool.submit(worker)
+
+
+async def legacy_poll() -> None:
+    time.sleep(0.5)  # reprolint: disable=R015 -- fixture: suppression demo

@@ -1,0 +1,11 @@
+"""Build-time module in the hot-path directory but NOT reachable from
+the declared entry point — the reachability BFS must leave it alone."""
+
+import numpy as np
+
+
+def rebuild(values):
+    out = np.empty(0, dtype=np.float64)
+    for value in values:
+        out = np.append(out, value)  # unreachable from run_query: not flagged
+    return out

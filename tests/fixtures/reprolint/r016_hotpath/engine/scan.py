@@ -1,0 +1,52 @@
+"""R016 fixture: numpy anti-patterns reachable from the query path.
+
+Every helper below is called (transitively) from ``run_query``, the
+entry point declared in the adjacent ``layers.toml``. Never executed.
+"""
+
+import numpy as np
+
+
+def run_query(values):
+    out = gather(values)
+    total = accumulate(values)
+    squares = scale(values)
+    scaled = scale32(values)
+    grown = widen(values)
+    return out, total, squares, scaled, grown
+
+
+def gather(values):
+    out = np.empty(0, dtype=np.float64)  # zero-size sentinel: fine
+    for value in values:
+        out = np.append(out, value)  # EXPECT:R016
+    return out
+
+
+def accumulate(values):
+    total = np.zeros(1, dtype=np.float64)  # hoisted: fine
+    for value in values:
+        buffer = np.zeros(8, dtype=np.float64)  # EXPECT:R016
+        buffer[0] = value
+        total = total + buffer[:1]
+    return total
+
+
+def scale(values):
+    squares = np.zeros_like(values)
+    for i in range(len(values)):  # EXPECT:R016
+        squares[i] = values[i] * values[i]
+    return squares
+
+
+def scale32(values):
+    buffer = np.zeros(16, dtype=np.float32)
+    scaled = buffer * 1.5  # EXPECT:R016
+    return scaled
+
+
+def widen(values):
+    grown = values
+    for _ in range(2):
+        grown = grown + np.ones(4)  # reprolint: disable=R016 -- fixture: suppression demo
+    return grown

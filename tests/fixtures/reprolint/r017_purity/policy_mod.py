@@ -1,0 +1,48 @@
+"""Purity-layer policy module. Never executed.
+
+Pure decisions take (state, injected rng stream) and return values;
+every hidden input below — I/O, module-global mutation, ad-hoc RNG —
+is a violation.
+"""
+
+import numpy as np
+
+TUNING = {"step": 1.0}
+_HISTORY: list = []
+
+
+def decide(queue_length: int) -> int:
+    print("deciding", queue_length)  # EXPECT:R017
+    TUNING["step"] = 2.0  # EXPECT:R017
+    _HISTORY.append(queue_length)  # EXPECT:R017
+    return 1
+
+
+def snapshot(path) -> None:
+    handle = open("policy.log")  # EXPECT:R017
+    handle.close()
+    path.write_text("snapshot")  # EXPECT:R017
+
+
+def reseed(seed: int) -> None:
+    global TUNING  # EXPECT:R017
+    TUNING = {"step": float(seed)}
+
+
+def sample() -> float:
+    rng = np.random.default_rng(0)  # EXPECT:R017
+    return float(rng.standard_normal())
+
+
+def jitter(rng) -> float:
+    return float(rng.normal())  # injected stream: fine
+
+
+def rescale(factor: float) -> dict:
+    scaled = {"step": TUNING["step"] * factor}  # read-only use: fine
+    return scaled
+
+
+def debug_decide(queue_length: int) -> int:
+    print(queue_length)  # reprolint: disable=R017 -- fixture: suppression demo
+    return 0

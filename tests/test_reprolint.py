@@ -86,6 +86,10 @@ RULE_FIXTURES = {
     "R011": "r011_config_typed.py",
     "R012": "r012_thread_safety.py",
     "R013": "r013_experiments",
+    "R014": "r014_layering",
+    "R015": "r015_async.py",
+    "R016": "r016_hotpath",
+    "R017": "r017_purity",
 }
 
 
@@ -127,6 +131,16 @@ class TestRuleFixtures:
                 re.sub(r"# reprolint: disable=\S+.*$", "", source, flags=re.M)
             )
         assert saw_suppression, f"{fixture_name} exercises no suppressions"
+        if source_fixture.is_dir():
+            # Carry non-Python fixture files (layers.toml maps) along —
+            # without them the layer-driven rules go silent.
+            for extra in source_fixture.rglob("*"):
+                if extra.is_file() and extra.suffix != ".py":
+                    target = stripped_root / extra.relative_to(
+                        source_fixture.parent
+                    )
+                    target.parent.mkdir(parents=True, exist_ok=True)
+                    shutil.copy(extra, target)
         without = lint_paths([str(stripped_root)], select=[rule_id])
         assert len(without.findings) > len(annotated.findings)
 
@@ -212,6 +226,104 @@ class TestRealTreeGate:
         # time.time() sits on the line directly above the marker.
         marker_line = 1 + mutated[: mutated.index(marker)].count("\n")
         assert result.findings[0].line == marker_line - 1
+
+    # -- R014-R017 mutation regressions on copies of the real kernel ----
+
+    _KERNEL_MAP = (
+        "[layers]\n"
+        'kernel = ["core"]\n'
+        "\n"
+        "[clock]\n"
+        'kernel_layers = ["kernel"]\n'
+        'forbidden_modules = ["time", "asyncio", "datetime", "sched"]\n'
+        'clock_classes = ["ClockProtocol", "SchedulerProtocol", '
+        '"VirtualClock", "WallClock", "SystemState"]\n'
+        "\n"
+        "[purity]\n"
+        'layers = ["kernel"]\n'
+    )
+
+    def _kernel_copy(self, root: Path, source: str) -> Path:
+        """Stage a scheduling-kernel copy under a miniature layer map."""
+        root.mkdir(parents=True, exist_ok=True)
+        (root / "layers.toml").write_text(self._KERNEL_MAP)
+        target_dir = root / "core"
+        target_dir.mkdir()
+        (target_dir / "scheduling.py").write_text(source)
+        return target_dir
+
+    def test_wall_clock_read_in_kernel_fails(self, tmp_path):
+        scheduling = (REPO_ROOT / "src/repro/core/scheduling.py").read_text()
+        clean_dir = self._kernel_copy(tmp_path / "clean", scheduling)
+        assert lint_paths([str(clean_dir)], select=["R014"]).findings == []
+        anchor = "from repro.policies.base import SystemState"
+        marker = "    wait = now - arrival"
+        assert anchor in scheduling and marker in scheduling
+        mutated = scheduling.replace(anchor, "import time\n" + anchor)
+        mutated = mutated.replace(marker, "    wait = sim.now - arrival")
+        bad_dir = self._kernel_copy(tmp_path / "bad", mutated)
+        result = lint_paths([str(bad_dir)], select=["R014"])
+        assert [f.rule_id for f in result.findings] == ["R014", "R014"]
+        import_line = 1 + mutated[: mutated.index("import time\n")].count("\n")
+        read_line = 1 + mutated[: mutated.index("sim.now")].count("\n")
+        assert sorted(f.line for f in result.findings) == sorted(
+            [import_line, read_line]
+        )
+
+    def test_print_in_kernel_policy_fails(self, tmp_path):
+        scheduling = (REPO_ROOT / "src/repro/core/scheduling.py").read_text()
+        clean_dir = self._kernel_copy(tmp_path / "clean", scheduling)
+        assert lint_paths([str(clean_dir)], select=["R017"]).findings == []
+        marker = "    cap = min(requested, free_cores)"
+        assert marker in scheduling
+        injected = '    print("granting", requested)\n'
+        mutated = scheduling.replace(marker, injected + marker)
+        bad_dir = self._kernel_copy(tmp_path / "bad", mutated)
+        result = lint_paths([str(bad_dir)], select=["R017"])
+        assert [f.rule_id for f in result.findings] == ["R017"]
+        bad_line = 1 + mutated[: mutated.index(injected)].count("\n")
+        assert result.findings[0].line == bad_line
+
+    def test_blocking_sleep_in_async_def_fails(self, tmp_path):
+        online = (REPO_ROOT / "src/repro/policies/online.py").read_text()
+        target_dir = tmp_path / "policies"
+        target_dir.mkdir()
+        (target_dir / "online.py").write_text(online)
+        assert lint_paths([str(target_dir)], select=["R015"]).findings == []
+        marker = "    def _tick(self) -> None:"
+        assert marker in online
+        injected = "        time.sleep(0.005)"
+        mutated = online.replace(
+            marker, "    async def _tick(self) -> None:\n" + injected
+        )
+        (target_dir / "online.py").write_text(mutated)
+        result = lint_paths([str(target_dir)], select=["R015"])
+        assert [f.rule_id for f in result.findings] == ["R015"]
+        bad_line = 1 + mutated[: mutated.index(injected)].count("\n")
+        assert result.findings[0].line == bad_line
+
+    def test_append_loop_in_plan_fails(self, tmp_path):
+        plan = (REPO_ROOT / "src/repro/engine/plan.py").read_text()
+        (tmp_path / "layers.toml").write_text('[hotpath]\ndirs = ["engine"]\n')
+        target_dir = tmp_path / "engine"
+        target_dir.mkdir()
+        (target_dir / "plan.py").write_text(plan)
+        assert lint_paths([str(target_dir)], select=["R016"]).findings == []
+        marker = (
+            "            relevance += "
+            "np.maximum.accumulate(per_chunk[::-1])[::-1]"
+        )
+        assert marker in plan
+        bad = "relevance = np.append(relevance, _value)"
+        mutated = plan.replace(
+            marker,
+            "            for _value in per_chunk:\n                " + bad,
+        )
+        (target_dir / "plan.py").write_text(mutated)
+        result = lint_paths([str(target_dir)], select=["R016"])
+        assert [f.rule_id for f in result.findings] == ["R016"]
+        bad_line = 1 + mutated[: mutated.index(bad)].count("\n")
+        assert result.findings[0].line == bad_line
 
 
 class TestReporters:

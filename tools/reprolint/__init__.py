@@ -9,6 +9,13 @@ simulated-time code, no float equality on latencies, no mutable default
 arguments, consumed config fields, no swallowed exceptions in sim hot
 paths, and fully annotated public simulation APIs.
 
+The whole-program analyses (R009+) add cross-module checks: units of
+measure, RNG stream collisions, typed config consumption, thread
+safety, experiment registration, architectural layering + kernel clock
+discipline driven by the declarative map in ``layers.toml`` (R014),
+async/blocking safety (R015), hot-path numpy performance on the
+query-execution path (R016), and policy-kernel purity (R017).
+
 Usage::
 
     python -m tools.reprolint src tests

@@ -192,6 +192,9 @@ def register(rule_cls: Type[Rule]) -> Type[Rule]:
 def all_rules() -> Dict[str, Type[Rule]]:
     """Return the registry (importing the built-in rules on demand)."""
     # Imported for their side effect of registering rules.
+    from tools.reprolint import asyncsafety as _asyncsafety  # noqa: F401
+    from tools.reprolint import hotpath as _hotpath  # noqa: F401
+    from tools.reprolint import layering as _layering  # noqa: F401
     from tools.reprolint import rules as _rules  # noqa: F401
     from tools.reprolint import units as _units  # noqa: F401
     from tools.reprolint import wholeprogram as _wholeprogram  # noqa: F401

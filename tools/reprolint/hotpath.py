@@ -1,0 +1,402 @@
+"""Hot-path performance rule R016.
+
+The per-query execution path (``engine/``, ``index/``) is the code the
+live ISN runs thousands of times per second; incidental numpy misuse
+there is invisible at test scale and dominant in production. R016
+checks every function in the layer map's ``[hotpath]`` directories that
+is *reachable from the declared query-path entry points* (call-graph
+BFS over the project model) for four anti-patterns:
+
+* ``np.append`` — quadratic: copies the whole array per call;
+* array allocation inside a loop — a fresh buffer every iteration
+  where one hoisted allocation (or an in-place op) would do;
+* per-element indexed loops over arrays (``for i in range(len(x)):
+  ... x[i]``) — the classic unvectorized scan;
+* silent dtype promotion — arithmetic between a ``float32`` buffer and
+  a Python float doubles the memory traffic of the whole expression.
+
+Entry points come from ``layers.toml``. When *no* entry resolves in the
+linted file set (single-file lints, fixture trees), every function in
+the hot-path directories is checked instead — reachability is a
+precision filter for whole-tree runs, not a soundness gate.
+
+Allocations that can execute at most once per loop — inside a
+``return``/``raise`` statement — and zero-size sentinel allocations
+(``np.empty(0, ...)``) are exempt: both are early-exit idioms, not
+per-iteration garbage.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from tools.reprolint.core import FileContext, Finding, Rule, register
+from tools.reprolint.layers import LayerMap, find_layer_map
+from tools.reprolint.project import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectModel,
+)
+
+_ALLOCATORS = {
+    "zeros", "ones", "empty", "full", "zeros_like", "ones_like",
+    "full_like", "empty_like", "concatenate", "vstack", "hstack",
+}
+_NUMPY_HEADS = {"np", "numpy"}
+_F32_NAMES = {"float32", "float16"}
+
+
+def _numpy_call_name(node: ast.Call) -> Optional[str]:
+    """``zeros`` for ``np.zeros(...)`` / ``numpy.zeros(...)``, else None."""
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in _NUMPY_HEADS
+    ):
+        return func.attr
+    return None
+
+
+def _is_zero_size(node: ast.Call) -> bool:
+    if not node.args:
+        return False
+    first = node.args[0]
+    if isinstance(first, ast.Constant) and first.value == 0:
+        return True
+    if isinstance(first, ast.Tuple) and any(
+        isinstance(e, ast.Constant) and e.value == 0 for e in first.elts
+    ):
+        return True
+    return False
+
+
+def _narrow_dtype_locals(fn_node: ast.AST) -> Set[str]:
+    """Locals assigned a numpy allocation with a float32/float16 dtype."""
+    narrow: Set[str] = set()
+    for node in ast.walk(fn_node):
+        if not (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Call)
+        ):
+            continue
+        for keyword in node.value.keywords:
+            if keyword.arg != "dtype":
+                continue
+            terminal = (
+                keyword.value.attr
+                if isinstance(keyword.value, ast.Attribute)
+                else keyword.value.id
+                if isinstance(keyword.value, ast.Name)
+                else None
+            )
+            if terminal in _F32_NAMES:
+                narrow.add(node.targets[0].id)
+    return narrow
+
+
+@register
+class HotPathPerformanceRule(Rule):
+    """R016 — no quadratic/allocating/unvectorized numpy on the query path."""
+
+    rule_id = "R016"
+    summary = "query-path numpy free of append loops, per-iteration allocs"
+    rationale = (
+        "engine/ and index/ code reachable from Engine.execute runs per "
+        "query, per chunk, per term. np.append is O(n) per call (the "
+        "array is copied whole); an allocation inside the scan loop is "
+        "a fresh buffer per iteration; a range(len(x)) element loop "
+        "abandons the vectorized scan the chunk format exists for; and "
+        "mixing a float32 buffer with Python floats silently promotes "
+        "the whole expression to float64, doubling memory traffic. None "
+        "of these show up at test scale."
+    )
+    project_rule = True
+
+    def check_project(
+        self, ctxs: Sequence[FileContext], project: ProjectModel
+    ) -> Iterator[Finding]:
+        #: map-source -> (LayerMap, candidate ctxs in hotpath dirs)
+        groups: Dict[str, Tuple[LayerMap, List[FileContext]]] = {}
+        for ctx in ctxs:
+            layer_map = find_layer_map(ctx.path)
+            if layer_map is None or not layer_map.hotpath.dirs:
+                continue
+            if not any(part in layer_map.hotpath.dirs for part in ctx.parts[:-1]):
+                continue
+            key = layer_map.source or "<inline>"
+            groups.setdefault(key, (layer_map, []))[1].append(ctx)
+
+        for layer_map, group_ctxs in groups.values():
+            yield from self._check_group(layer_map, group_ctxs, project)
+
+    # ------------------------------------------------------------------
+    # Reachability
+    # ------------------------------------------------------------------
+
+    def _check_group(
+        self,
+        layer_map: LayerMap,
+        ctxs: Sequence[FileContext],
+        project: ProjectModel,
+    ) -> Iterator[Finding]:
+        reachable = self._reachable_functions(layer_map, project)
+        for ctx in ctxs:
+            module = project.by_path.get(ctx.path)
+            if module is None:  # pragma: no cover - defensive
+                continue
+            for fn, _owner in self._scoped_functions(module):
+                if not isinstance(
+                    fn.node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if reachable is not None and id(fn.node) not in reachable:
+                    continue
+                yield from self._check_function(ctx, fn)
+
+    def _reachable_functions(
+        self, layer_map: LayerMap, project: ProjectModel
+    ) -> Optional[Set[int]]:
+        """ids of function nodes reachable from the configured entries,
+        or None (= check everything) when no entry resolves."""
+        roots: List[Tuple[FunctionInfo, Optional[ClassInfo]]] = []
+        for entry in layer_map.hotpath.entries:
+            resolved = self._resolve_entry(entry, project)
+            if resolved is not None:
+                roots.append(resolved)
+        if not roots:
+            return None
+        reachable: Set[int] = set()
+        queue = list(roots)
+        while queue:
+            fn, owner = queue.pop()
+            if id(fn.node) in reachable:
+                continue
+            reachable.add(id(fn.node))
+            if not isinstance(fn.node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # synthetic constructor: no body to walk
+            local_types = project.infer_local_types(fn, owner)
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = project.resolve_call(
+                    fn.module, node, local_types, owner
+                )
+                if callee is None:
+                    continue
+                callee_owner = None
+                if callee.is_method:
+                    callee_owner = callee.module.classes.get(
+                        callee.qualname.split(".")[0]
+                    )
+                queue.append((callee, callee_owner))
+        return reachable
+
+    @staticmethod
+    def _resolve_entry(
+        entry: str, project: ProjectModel
+    ) -> Optional[Tuple[FunctionInfo, Optional[ClassInfo]]]:
+        """Resolve ``pkg.module.function`` or ``pkg.module.Class.method``."""
+        parts = entry.split(".")
+        # module.function
+        if len(parts) >= 2:
+            module = project.resolve_module(".".join(parts[:-1]))
+            if module is not None and parts[-1] in module.functions:
+                return module.functions[parts[-1]], None
+        # module.Class.method
+        if len(parts) >= 3:
+            module = project.resolve_module(".".join(parts[:-2]))
+            if module is not None:
+                cls_info = module.classes.get(parts[-2])
+                if cls_info is not None and parts[-1] in cls_info.methods:
+                    return cls_info.methods[parts[-1]], cls_info
+        return None
+
+    @staticmethod
+    def _scoped_functions(
+        module: ModuleInfo,
+    ) -> Iterator[Tuple[FunctionInfo, Optional[ClassInfo]]]:
+        for fn in module.functions.values():
+            yield fn, None
+        for cls_info in module.classes.values():
+            for fn in cls_info.methods.values():
+                yield fn, cls_info
+
+    # ------------------------------------------------------------------
+    # Per-function pattern checks
+    # ------------------------------------------------------------------
+
+    def _check_function(
+        self, ctx: FileContext, fn: FunctionInfo
+    ) -> Iterator[Finding]:
+        narrow = _narrow_dtype_locals(fn.node)
+        yield from self._walk(ctx, fn, fn.node.body, in_loop=False,
+                              loop_vars=set(), narrow=narrow)
+
+    def _walk(
+        self,
+        ctx: FileContext,
+        fn: FunctionInfo,
+        statements: Sequence[ast.stmt],
+        in_loop: bool,
+        loop_vars: Set[str],
+        narrow: Set[str],
+    ) -> Iterator[Finding]:
+        for statement in statements:
+            if isinstance(
+                statement,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                continue
+            if isinstance(statement, (ast.For, ast.While)):
+                inner_vars = set(loop_vars)
+                if isinstance(statement, ast.For):
+                    yield from self._check_per_element(ctx, fn, statement)
+                    if isinstance(statement.target, ast.Name):
+                        inner_vars.add(statement.target.id)
+                    # the iterable expression runs once per loop entry
+                    for node in ast.walk(statement.iter):
+                        yield from self._check_expr(
+                            ctx, fn, node, in_loop, loop_vars, narrow
+                        )
+                else:
+                    for node in ast.walk(statement.test):
+                        yield from self._check_expr(
+                            ctx, fn, node, in_loop, loop_vars, narrow
+                        )
+                yield from self._walk(
+                    ctx, fn, statement.body, True, inner_vars, narrow
+                )
+                yield from self._walk(
+                    ctx, fn, statement.orelse, in_loop, loop_vars, narrow
+                )
+                continue
+            if isinstance(
+                statement, (ast.If, ast.With, ast.AsyncWith, ast.Try)
+            ):
+                # Check only the header expressions here; nested
+                # statements are visited by the recursion below (a
+                # single ast.walk would double-count them).
+                headers: List[ast.AST] = []
+                if isinstance(statement, ast.If):
+                    headers = [statement.test]
+                elif isinstance(statement, (ast.With, ast.AsyncWith)):
+                    headers = [item.context_expr for item in statement.items]
+                for header in headers:
+                    for node in ast.walk(header):
+                        yield from self._check_expr(
+                            ctx, fn, node, in_loop, loop_vars, narrow
+                        )
+                for attr in ("body", "orelse", "finalbody"):
+                    children = getattr(statement, attr, None)
+                    if children:
+                        yield from self._walk(
+                            ctx, fn, children, in_loop, loop_vars, narrow
+                        )
+                for handler in getattr(statement, "handlers", []) or []:
+                    yield from self._walk(
+                        ctx, fn, handler.body, in_loop, loop_vars, narrow
+                    )
+                continue
+            # Simple statement: allocations in a `return`/`raise` escape
+            # the loop on first execution — not per-iteration garbage.
+            is_exit = isinstance(statement, (ast.Return, ast.Raise))
+            for node in ast.walk(statement):
+                yield from self._check_expr(
+                    ctx, fn, node, in_loop and not is_exit, loop_vars, narrow
+                )
+
+    def _check_expr(
+        self,
+        ctx: FileContext,
+        fn: FunctionInfo,
+        node: ast.AST,
+        in_loop: bool,
+        loop_vars: Set[str],
+        narrow: Set[str],
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Call):
+            name = _numpy_call_name(node)
+            if name == "append":
+                yield self.finding(
+                    ctx, node,
+                    f"np.append in hot-path '{fn.qualname}' copies the "
+                    "whole array per call (quadratic growth); collect "
+                    "into a list and convert once, or preallocate",
+                )
+            elif (
+                name in _ALLOCATORS
+                and in_loop
+                and not _is_zero_size(node)
+            ):
+                yield self.finding(
+                    ctx, node,
+                    f"np.{name} inside a loop in hot-path "
+                    f"'{fn.qualname}' allocates a fresh array every "
+                    "iteration; hoist the allocation or reuse a buffer",
+                )
+        elif isinstance(node, ast.BinOp):
+            yield from self._check_promotion(ctx, fn, node, narrow)
+
+    def _check_promotion(
+        self, ctx: FileContext, fn: FunctionInfo, node: ast.BinOp, narrow: Set[str]
+    ) -> Iterator[Finding]:
+        sides = (node.left, node.right)
+        names = [s.id for s in sides if isinstance(s, ast.Name)]
+        floats = [
+            s for s in sides
+            if isinstance(s, ast.Constant) and isinstance(s.value, float)
+        ]
+        if floats and any(name in narrow for name in names):
+            buffer_name = next(name for name in names if name in narrow)
+            yield self.finding(
+                ctx, node,
+                f"arithmetic between float32 buffer '{buffer_name}' and a "
+                f"Python float in hot-path '{fn.qualname}' silently "
+                "promotes the whole expression to float64; use "
+                "np.float32(...) constants or .astype once",
+            )
+
+    def _check_per_element(
+        self, ctx: FileContext, fn: FunctionInfo, loop: ast.For
+    ) -> Iterator[Finding]:
+        """``for i in range(len(x)): ... x[i]`` — an unvectorized scan."""
+        if not (
+            isinstance(loop.target, ast.Name)
+            and isinstance(loop.iter, ast.Call)
+            and isinstance(loop.iter.func, ast.Name)
+            and loop.iter.func.id == "range"
+        ):
+            return
+        array_names: Set[str] = set()
+        for arg in loop.iter.args:
+            if (
+                isinstance(arg, ast.Call)
+                and isinstance(arg.func, ast.Name)
+                and arg.func.id == "len"
+                and arg.args
+                and isinstance(arg.args[0], ast.Name)
+            ):
+                array_names.add(arg.args[0].id)
+        if not array_names:
+            return
+        index = loop.target.id
+        for node in ast.walk(loop):
+            if (
+                isinstance(node, ast.Subscript)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in array_names
+                and isinstance(node.slice, ast.Name)
+                and node.slice.id == index
+            ):
+                yield self.finding(
+                    ctx, loop,
+                    f"per-element loop over '{node.value.id}' in hot-path "
+                    f"'{fn.qualname}' (range(len)/[i] indexing); replace "
+                    "with a vectorized numpy expression",
+                )
+                return

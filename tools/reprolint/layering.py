@@ -1,0 +1,420 @@
+"""Architectural layering and purity rules R014 / R017.
+
+Both rules are driven by the declarative layer map (``layers.toml``,
+loaded per linted file via :func:`tools.reprolint.layers.find_layer_map`
+— see that module for the resolution and matching semantics).
+
+* **R014 — layering / clock discipline.** Modules assigned to a layer
+  may import (and, at the call-graph level, invoke methods on receivers
+  of classes from) only the layers their layer is allowed to see.
+  Modules in the *kernel* layers additionally must be clock-agnostic:
+  no imports of wall-clock / event-loop modules (``time``, ``asyncio``,
+  ``datetime``, …) anywhere in the file — lazy in-function imports
+  included — and ``.now`` attribute reads only through receivers typed
+  as (or named like) a clock. The kernel is the code the live-serving
+  runtime will rehost on wall time; any simulator or wall-clock leak
+  here silently breaks the virtual/wall equivalence.
+
+* **R017 — policy purity.** Functions in the purity layers must be pure
+  with respect to the process: no I/O (print/open/file writes/network),
+  no mutation of module-level state (``global`` or writes through
+  module-level names), and no RNG creation or implicit global streams —
+  randomness arrives as an injected ``RngFactory`` stream or generator
+  argument. Purity is what makes a policy decision replayable: the same
+  (state, info) must yield the same degree on every run and host.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from tools.reprolint.core import FileContext, Finding, Rule, register
+from tools.reprolint.layers import LayerMap, find_layer_map
+from tools.reprolint.project import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectModel,
+)
+
+
+def _iter_imports(tree: ast.Module) -> Iterator[Tuple[ast.stmt, str]]:
+    """Every imported dotted module name in the file (lazy ones too)."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is not None and not node.level:
+                yield node, node.module
+
+
+def _scoped_functions(
+    module: ModuleInfo,
+) -> Iterator[Tuple[FunctionInfo, Optional[ClassInfo]]]:
+    for fn in module.functions.values():
+        yield fn, None
+    for cls_info in module.classes.values():
+        for fn in cls_info.methods.values():
+            yield fn, cls_info
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@register
+class LayeringRule(Rule):
+    """R014 — declarative layering + kernel clock discipline."""
+
+    rule_id = "R014"
+    summary = "layer map respected; scheduling kernel is clock-agnostic"
+    rationale = (
+        "The scheduling kernel (policies + clock + pure dispatch "
+        "decisions) must run identically under the virtual-time "
+        "simulator and the wall-clock runtime. layers.toml declares the "
+        "architecture: which layer each module belongs to and what it "
+        "may import. R014 enforces it on the import graph AND on the "
+        "call graph (method calls on receivers of higher-layer classes), "
+        "and pins the clock discipline: kernel code never imports "
+        "time/asyncio/datetime and reads `.now` only through a "
+        "ClockProtocol-typed (or clock-named) receiver."
+    )
+    project_rule = True
+
+    def check_project(
+        self, ctxs: Sequence[FileContext], project: ProjectModel
+    ) -> Iterator[Finding]:
+        for ctx in ctxs:
+            layer_map = find_layer_map(ctx.path)
+            if layer_map is None:
+                continue
+            module = project.by_path.get(ctx.path)
+            if module is None:  # pragma: no cover - defensive
+                continue
+            layer = layer_map.layer_of(module.name)
+            if layer is None:
+                continue
+            yield from self._check_imports(ctx, module, layer, layer_map)
+            yield from self._check_calls(ctx, module, layer, layer_map, project)
+            if layer_map.is_kernel_layer(layer):
+                yield from self._check_clock_reads(
+                    ctx, module, layer_map, project
+                )
+
+    # ------------------------------------------------------------------
+    # Import graph
+    # ------------------------------------------------------------------
+
+    def _check_imports(
+        self,
+        ctx: FileContext,
+        module: ModuleInfo,
+        layer: str,
+        layer_map: LayerMap,
+    ) -> Iterator[Finding]:
+        allowed = layer_map.allowed_for(layer)
+        kernel = layer_map.is_kernel_layer(layer)
+        for node, target in _iter_imports(ctx.tree):
+            if kernel:
+                top = target.split(".")[0]
+                if top in layer_map.clock.forbidden_modules:
+                    yield self.finding(
+                        ctx, node,
+                        f"kernel-layer module '{module.name}' imports "
+                        f"'{target}': the scheduling kernel is "
+                        "clock-agnostic — read time through ClockProtocol "
+                        "and let the driver own the event loop",
+                    )
+                    continue
+            target_layer = layer_map.layer_of(target)
+            if target_layer is None or target_layer in allowed:
+                continue
+            yield self.finding(
+                ctx, node,
+                f"layer '{layer}' module '{module.name}' imports "
+                f"'{target}' from layer '{target_layer}'; allowed layers: "
+                f"{', '.join(sorted(allowed))} (see layers.toml)",
+            )
+
+    # ------------------------------------------------------------------
+    # Call graph
+    # ------------------------------------------------------------------
+
+    def _check_calls(
+        self,
+        ctx: FileContext,
+        module: ModuleInfo,
+        layer: str,
+        layer_map: LayerMap,
+        project: ProjectModel,
+    ) -> Iterator[Finding]:
+        allowed = layer_map.allowed_for(layer)
+        for fn, owner in _scoped_functions(module):
+            if not isinstance(fn.node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            local_types = project.infer_local_types(fn, owner)
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                if not isinstance(node.func, ast.Attribute):
+                    continue
+                receiver = project.receiver_class(
+                    node.func.value, module, local_types, owner
+                )
+                if receiver is None:
+                    continue
+                receiver_layer = layer_map.layer_of(receiver.module.name)
+                if receiver_layer is None or receiver_layer in allowed:
+                    continue
+                yield self.finding(
+                    ctx, node,
+                    f"layer '{layer}' code calls "
+                    f"'{receiver.name}.{node.func.attr}()' on a receiver "
+                    f"from layer '{receiver_layer}'; pass the result in, "
+                    "or move the dependency below the layer boundary",
+                )
+
+    # ------------------------------------------------------------------
+    # Clock discipline
+    # ------------------------------------------------------------------
+
+    def _check_clock_reads(
+        self,
+        ctx: FileContext,
+        module: ModuleInfo,
+        layer_map: LayerMap,
+        project: ProjectModel,
+    ) -> Iterator[Finding]:
+        clock_classes = set(layer_map.clock.clock_classes)
+
+        def sanctioned(receiver_expr: ast.expr, local_types, owner) -> bool:
+            receiver = project.receiver_class(
+                receiver_expr, module, local_types, owner
+            )
+            if receiver is not None:
+                return receiver.name in clock_classes
+            terminal = _terminal_name(receiver_expr)
+            return terminal is not None and "clock" in terminal.lower()
+
+        def scan(
+            root: ast.AST, local_types: Dict[str, ClassInfo], owner
+        ) -> Iterator[Finding]:
+            for node in ast.walk(root):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and node.attr == "now"
+                    and isinstance(node.ctx, ast.Load)
+                    and not sanctioned(node.value, local_types, owner)
+                ):
+                    described = _dotted(node) or f"<expr>.{node.attr}"
+                    yield self.finding(
+                        ctx, node,
+                        f"kernel time read '{described}' bypasses the clock "
+                        "interface; type the receiver as ClockProtocol (or "
+                        "name it *clock*) so virtual and wall time stay "
+                        "interchangeable",
+                    )
+
+        top_level = [
+            statement
+            for statement in ctx.tree.body
+            if not isinstance(
+                statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            )
+        ]
+        for statement in top_level:
+            yield from scan(statement, {}, None)
+        for fn, owner in _scoped_functions(module):
+            if not isinstance(fn.node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            local_types = project.infer_local_types(fn, owner)
+            yield from scan(fn.node, local_types, owner)
+
+
+_IO_NAME_CALLS = {"print", "open", "input"}
+_IO_ATTR_CALLS = {
+    "write_text", "write_bytes", "read_text", "read_bytes", "urlopen",
+    "savefig", "to_csv",
+}
+_IO_MODULE_PREFIXES = ("os.", "sys.", "subprocess.", "shutil.", "socket.")
+_RNG_MODULE_PREFIXES = ("np.random.", "numpy.random.", "random.")
+_GLOBAL_MUTATORS = {
+    "append", "appendleft", "add", "update", "extend", "insert", "pop",
+    "popleft", "remove", "discard", "clear", "setdefault",
+}
+
+
+@register
+class PolicyPurityRule(Rule):
+    """R017 — policy-kernel functions must be pure."""
+
+    rule_id = "R017"
+    summary = "policy-kernel functions pure: no I/O, globals, or ad-hoc RNG"
+    rationale = (
+        "A policy decision must be a function of its inputs: the same "
+        "(state, info) yields the same degree on every replay and every "
+        "host, or the adaptive-vs-fixed comparison stops being causal. "
+        "I/O, module-global mutation, and locally-created RNGs are the "
+        "three ways kernel code grows hidden inputs; randomness is "
+        "legitimate only as an injected RngFactory stream the run's "
+        "seed controls."
+    )
+    project_rule = True
+
+    def check_project(
+        self, ctxs: Sequence[FileContext], project: ProjectModel
+    ) -> Iterator[Finding]:
+        for ctx in ctxs:
+            layer_map = find_layer_map(ctx.path)
+            if layer_map is None:
+                continue
+            module = project.by_path.get(ctx.path)
+            if module is None:  # pragma: no cover - defensive
+                continue
+            layer = layer_map.layer_of(module.name)
+            if not layer_map.is_purity_layer(layer):
+                continue
+            module_globals = self._module_level_names(ctx.tree)
+            for fn, _owner in _scoped_functions(module):
+                if not isinstance(
+                    fn.node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                yield from self._check_function(
+                    ctx, fn, module, module_globals
+                )
+
+    @staticmethod
+    def _module_level_names(tree: ast.Module) -> Set[str]:
+        names: Set[str] = set()
+        for node in tree.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                names.add(node.target.id)
+        return names
+
+    def _check_function(
+        self,
+        ctx: FileContext,
+        fn: FunctionInfo,
+        module: ModuleInfo,
+        module_globals: Set[str],
+    ) -> Iterator[Finding]:
+        declared_global: Set[str] = set()
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+                yield self.finding(
+                    ctx, node,
+                    f"'{fn.qualname}' declares global "
+                    f"{', '.join(node.names)}: kernel functions may not "
+                    "mutate module state — thread it through arguments "
+                    "or return values",
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    base = target
+                    if isinstance(base, ast.Subscript):
+                        base = base.value
+                    if isinstance(base, ast.Attribute):
+                        base = base.value
+                    if (
+                        isinstance(base, ast.Name)
+                        and base.id in module_globals
+                        and not isinstance(target, ast.Name)
+                    ):
+                        yield self.finding(
+                            ctx, node,
+                            f"'{fn.qualname}' writes through module-level "
+                            f"name '{base.id}': kernel state must be "
+                            "instance- or argument-owned",
+                        )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, fn, node, module_globals)
+
+    def _check_call(
+        self,
+        ctx: FileContext,
+        fn: FunctionInfo,
+        node: ast.Call,
+        module_globals: Set[str],
+    ) -> Iterator[Finding]:
+        func = node.func
+        dotted = _dotted(func)
+        terminal = _terminal_name(func)
+        # I/O -----------------------------------------------------------
+        if isinstance(func, ast.Name) and func.id in _IO_NAME_CALLS:
+            yield self.finding(
+                ctx, node,
+                f"'{fn.qualname}' performs I/O via {func.id}(): kernel "
+                "functions are pure — report through return values or "
+                "injected sinks",
+            )
+            return
+        if terminal in _IO_ATTR_CALLS or (
+            dotted is not None and dotted.startswith(_IO_MODULE_PREFIXES)
+        ):
+            yield self.finding(
+                ctx, node,
+                f"'{fn.qualname}' performs I/O via "
+                f"{dotted or terminal}(): kernel functions are pure",
+            )
+            return
+        # RNG -----------------------------------------------------------
+        if terminal == "default_rng" or (
+            dotted is not None and dotted.startswith(_RNG_MODULE_PREFIXES)
+        ):
+            yield self.finding(
+                ctx, node,
+                f"'{fn.qualname}' creates or uses an ad-hoc RNG "
+                f"({dotted or terminal}): draw from an injected "
+                "RngFactory stream instead",
+            )
+            return
+        if isinstance(func, ast.Name) and func.id in {"Random", "RngFactory"}:
+            yield self.finding(
+                ctx, node,
+                f"'{fn.qualname}' constructs {func.id}(...) inside the "
+                "kernel: streams are created by the driver and injected",
+            )
+            return
+        # Mutation of module-level state --------------------------------
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _GLOBAL_MUTATORS
+            and isinstance(func.value, ast.Name)
+            and func.value.id in module_globals
+        ):
+            yield self.finding(
+                ctx, node,
+                f"'{fn.qualname}' mutates module-level "
+                f"'{func.value.id}' via .{func.attr}(...): kernel state "
+                "must be instance- or argument-owned",
+            )
