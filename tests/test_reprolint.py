@@ -605,6 +605,44 @@ class TestCli:
         payload = json.loads(out_file.read_text())
         assert payload["findings"] == []
 
+    def test_findings_exit_1_internal_error_exit_3(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        target_dir = tmp_path / "sim"
+        target_dir.mkdir()
+        shutil.copy(FIXTURES / "r003_wall_clock.py", target_dir / "legacy.py")
+        # Findings in the tree: exit 1 ("fix your code").
+        assert reprolint_main([str(target_dir), "--select", "R003"]) == 1
+        capsys.readouterr()
+        # A rule crashing on valid input: exit 3 ("fix the linter").
+        def boom(self, ctx):
+            raise RuntimeError("rule exploded")
+
+        monkeypatch.setattr(all_rules()["R003"], "check", boom)
+        assert reprolint_main([str(target_dir), "--select", "R003"]) == 3
+        err = capsys.readouterr().err
+        assert "internal error" in err
+        assert "rule exploded" in err
+
+    def test_exit_zero_does_not_mask_internal_error(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        target_dir = tmp_path / "sim"
+        target_dir.mkdir()
+        (target_dir / "mod.py").write_text('"""Anything."""\nX = 1\n')
+
+        def boom(self, ctx):
+            raise RuntimeError("still broken")
+
+        monkeypatch.setattr(all_rules()["R003"], "check", boom)
+        assert (
+            reprolint_main(
+                [str(target_dir), "--select", "R003", "--exit-zero"]
+            )
+            == 3
+        )
+        assert "internal error" in capsys.readouterr().err
+
     def test_module_entry_point_on_real_src(self):
         # The gate the CI job runs: must exit 0 on the current tree.
         proc = subprocess.run(

@@ -1,8 +1,13 @@
 """Command-line interface for reprolint.
 
-Exit codes: 0 = clean, 1 = findings (or parse errors), 2 = usage error.
-``--exit-zero`` keeps the report but always exits 0 (report-only mode,
-used when surveying a tree before gating it).
+Exit codes: 0 = clean, 1 = findings (or parse errors), 2 = usage error,
+3 = internal analyzer error (a rule crashed — a reprolint bug, not a
+finding). CI treats 1 as "fix your code" and 3 as "fix the linter";
+conflating them (the pre-R014 behavior) made analyzer regressions look
+like tree regressions. ``--exit-zero`` keeps the report but always
+exits 0 (report-only mode, used when surveying a tree before gating
+it); it does NOT mask exit 3 — a crashed analyzer produced no report
+worth trusting.
 
 Staged adoption: ``--write-baseline .reprolint-baseline.json`` snapshots
 today's findings; running with ``--baseline .reprolint-baseline.json``
@@ -14,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import traceback
 from pathlib import Path
 from typing import List, Optional
 
@@ -34,7 +40,9 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "AST-based determinism & simulation-correctness linter for "
             "this repository (per-file rules R001-R008 and whole-program "
-            "analyses R009-R013; see CONTRIBUTING.md)."
+            "analyses R009-R017; see CONTRIBUTING.md). Exit codes: "
+            "0 clean, 1 findings, 2 usage error, 3 internal analyzer "
+            "error."
         ),
     )
     parser.add_argument(
@@ -101,6 +109,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (FileNotFoundError, ValueError) as exc:
         print(f"reprolint: error: {exc}", file=sys.stderr)
         return 2
+    except Exception as exc:  # noqa: BLE001 - analyzer crash, not a finding
+        # A rule blew up on valid input: that is a reprolint bug. Exit 3
+        # so CI can tell "fix the linter" from "fix the tree" (exit 1).
+        print(f"reprolint: internal error: {exc}", file=sys.stderr)
+        traceback.print_exc(file=sys.stderr)
+        return 3
 
     if args.write_baseline:
         write_baseline(args.write_baseline, result.findings)
