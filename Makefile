@@ -1,6 +1,6 @@
 # Convenience targets for the repro repository.
 
-.PHONY: install test coverage lint reprolint reprolint-sarif bench experiments experiments-small e20 trace-demo report csv clean
+.PHONY: install test coverage lint reprolint reprolint-changed reprolint-sarif bench bench-reprolint experiments experiments-small e20 trace-demo report csv clean
 
 install:
 	pip install -e .
@@ -27,10 +27,19 @@ lint: reprolint
 	else echo "mypy not installed; skipping (pip install mypy)"; fi
 
 reprolint:
-	python -m tools.reprolint src tests tools --baseline .reprolint-baseline.json
+	python -m tools.reprolint src tests tools --baseline .reprolint-baseline.json \
+	  --cache-dir .reprolint-cache
+
+# Pre-commit fast path: only git-changed files plus everything that
+# (transitively) imports them. Identical findings to `make reprolint`
+# for the reported files; see CONTRIBUTING.md for the cache contract.
+reprolint-changed:
+	python -m tools.reprolint src tests tools --baseline .reprolint-baseline.json \
+	  --cache-dir .reprolint-cache --changed-only
 
 reprolint-sarif:
 	python -m tools.reprolint src tests tools --baseline .reprolint-baseline.json \
+	  --cache-dir .reprolint-cache \
 	  --format sarif --output reprolint.sarif --exit-zero
 
 bench:
@@ -38,6 +47,12 @@ bench:
 
 bench-small:
 	REPRO_SCALE=small pytest benchmarks/ --benchmark-only
+
+# Analyzer self-benchmark: cold vs warm cache vs --changed-only, with
+# the wall-clock targets from the incremental-engine contract. Writes
+# reprolint-bench.json (uploaded as a CI artifact).
+bench-reprolint:
+	python benchmarks/bench_reprolint.py --output reprolint-bench.json
 
 experiments:
 	python -m repro --all --json-dir results/reference --report results/reference_report.md

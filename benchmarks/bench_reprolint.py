@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Self-benchmark for the reprolint incremental engine.
+
+Measures three end-to-end wall-clock numbers over the real tree
+(``src tests tools``), each including interpreter startup — the number
+a developer actually waits for:
+
+* **cold** — fresh cache directory: parse + analyze everything. The CI
+  path after an analyzer or layer-map change; no target, reported for
+  trend tracking.
+* **warm full** — nothing changed since the priming run: content
+  hashing plus cache reads only, no parsing, no analysis.
+  Target: <= 1.5 s.
+* **changed-only warm** — one scratch file added, ``--changed-only``:
+  git diff, import-closure lookup from cached edges, and analysis of
+  the one-file closure. The pre-commit path. Target: <= 0.5 s.
+
+Timings are medians over ``--repeats`` runs. Results are written as a
+JSON artifact (CI uploads it per commit) and the process exits 1 if a
+target is missed, so a performance regression in the engine fails the
+static-analysis job rather than silently eroding the fast path.
+
+The scratch file is created untracked inside ``src/repro`` and removed
+afterwards; it imports nothing and nothing imports it, so its dirty
+closure is exactly one file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LINT_PATHS = ["src", "tests", "tools"]
+TARGETS_S = {"warm_full_s": 1.5, "changed_only_s": 0.5}
+_SCRATCH = REPO_ROOT / "src" / "repro" / "_bench_scratch.py"
+_SCRATCH_BODY = '"""Scratch module staged by benchmarks/bench_reprolint.py."""\n'
+
+
+def _run_once(extra: List[str]) -> float:
+    started = time.perf_counter()
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "tools.reprolint", *LINT_PATHS,
+            "--baseline", ".reprolint-baseline.json", *extra,
+        ],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    elapsed = time.perf_counter() - started
+    if proc.returncode not in (0, 1):
+        raise SystemExit(
+            f"reprolint exited {proc.returncode} during the benchmark:\n"
+            f"{proc.stdout}{proc.stderr}"
+        )
+    return elapsed
+
+
+def _median(extra: List[str], repeats: int) -> float:
+    return statistics.median(_run_once(extra) for _ in range(repeats))
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default="reprolint-bench.json", metavar="FILE",
+        help="write the JSON results to FILE (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, metavar="N",
+        help="median over N runs per warm measurement (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    results: Dict[str, object] = {"paths": LINT_PATHS, "repeats": args.repeats}
+    with tempfile.TemporaryDirectory(prefix="reprolint-bench-") as cache_dir:
+        cache = ["--cache-dir", cache_dir]
+        results["cold_s"] = round(_run_once(cache), 3)
+        results["warm_full_s"] = round(_median(cache, args.repeats), 3)
+        _SCRATCH.write_text(_SCRATCH_BODY)
+        try:
+            changed = cache + ["--changed-only"]
+            _run_once(changed)  # prime the one-file closure entry
+            results["changed_only_s"] = round(
+                _median(changed, args.repeats), 3
+            )
+        finally:
+            _SCRATCH.unlink()
+
+    results["targets_s"] = TARGETS_S
+    misses = {
+        name: results[name]
+        for name, limit in TARGETS_S.items()
+        if float(results[name]) > limit  # type: ignore[arg-type]
+    }
+    results["ok"] = not misses
+    Path(args.output).write_text(json.dumps(results, indent=2) + "\n")
+
+    print(
+        f"reprolint bench: cold {results['cold_s']}s, "
+        f"warm full {results['warm_full_s']}s "
+        f"(target {TARGETS_S['warm_full_s']}s), "
+        f"changed-only {results['changed_only_s']}s "
+        f"(target {TARGETS_S['changed_only_s']}s)"
+    )
+    if misses:
+        print(f"reprolint bench: TARGET MISSED: {misses}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""R018 fixture: determinism taint flowing into declared sinks.
+
+Sources: wall-clock reads, ad-hoc RNG, os.environ, id(), set iteration
+order. Sinks (declared in the sibling layers.toml): results.store and
+the write_manifest callable. Sanitizers: sorted(), FakeClock,
+RngFactory. Never imported or executed.
+"""
+
+import os
+import random
+import time
+
+from helper import constant, describe, scale
+from results.store import record
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+
+class RngFactory:
+    def __init__(self, seed):
+        self.seed = seed
+
+    def stream(self, label):
+        return label
+
+
+def wall_clock_flow():
+    start = time.time()
+    elapsed = time.time() - start
+    record({"elapsed_s": elapsed})  # EXPECT:R018
+    record({"elapsed_s": 0.0})  # clean literal: fine
+
+
+def arithmetic_and_fstring_flow():
+    t0 = time.perf_counter()
+    label = f"took {t0:.1f}s"
+    record(label)  # EXPECT:R018
+
+
+def env_flow():
+    host = os.environ.get("HOSTNAME", "unknown")
+    record({"host": host})  # EXPECT:R018
+    region = os.getenv("REGION")
+    write_manifest({"region": region})  # EXPECT:R018
+
+
+def adhoc_rng_flow():
+    jitter = random.random()
+    record({"jitter": jitter})  # EXPECT:R018
+
+
+def identity_flow():
+    token = id(object())
+    record({"token": token})  # EXPECT:R018
+
+
+def set_order_flow():
+    shards = {"a", "b", "c"}
+    order = list(shards)
+    record({"order": order})  # EXPECT:R018
+    record({"order": sorted(shards)})  # sorted(): sanitized
+
+
+def cross_module_flow():
+    t0 = time.monotonic()
+    scaled = scale(t0, 2.0)
+    record({"scaled": scaled})  # EXPECT:R018
+    text = describe(scale(t0, 2.0))
+    record({"text": text})  # EXPECT:R018
+    record({"fixed": constant(t0)})  # callee ignores its argument: clean
+
+
+def sanitized_clock_flow():
+    clock = FakeClock()
+    record({"now": clock.now})  # declared sanitizer class: clean
+    streams = RngFactory(time.monotonic_ns())
+    record({"draw": streams.stream("arrivals")})  # sanitizer: clean
+
+
+def suppressed_flow():
+    stamp = time.time()
+    record({"stamp": stamp})  # reprolint: disable=R018 -- legacy import shim
+
+
+def write_manifest(payload):
+    return payload

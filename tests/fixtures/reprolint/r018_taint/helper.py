@@ -1,0 +1,13 @@
+"""Helpers for the R018 fixture: cross-module taint propagation."""
+
+
+def scale(value, factor):
+    return value * factor
+
+
+def describe(value):
+    return f"value={value:.3f}"
+
+
+def constant(_value):
+    return 42.0

@@ -1,0 +1,17 @@
+"""Sink module of the R018 fixture: 'serialized experiment results'.
+
+Tainted values arriving here via calls are reported at the call sites;
+taint *created* here is reported at the return below.
+"""
+
+import time
+
+
+def record(payload):
+    return dict(payload)
+
+
+def stamped_summary(payload):
+    summary = dict(payload)
+    summary["written_at"] = time.time()  # EXPECT:R018
+    return summary

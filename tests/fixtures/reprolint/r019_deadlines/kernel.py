@@ -1,0 +1,10 @@
+"""Sim-layer helper for the R019 fixture: NOT a deadline layer, so the
+unbounded await below is exempt (sound-by-omission scoping)."""
+
+
+def admit():
+    return True
+
+
+async def exempt_unbounded(reader):
+    return await reader.read(1024)

@@ -1,0 +1,97 @@
+"""R019 fixture: deadline propagation in the runtime layer.
+
+Unbounded awaited I/O, constant budgets that ignore a threaded
+deadline, swallowed CancelledError, and dropped task handles — each
+next to the bounded/propagating counterpart that must stay clean.
+Never imported or executed.
+"""
+
+import asyncio
+
+from kernel import admit
+
+
+async def unbounded_read(reader):
+    return await reader.read(1024)  # EXPECT:R019
+
+
+async def bounded_read(reader, deadline_s):
+    return await asyncio.wait_for(reader.read(1024), timeout=deadline_s)
+
+
+async def context_bounded(queue, deadline_s):
+    async with asyncio.timeout(deadline_s):
+        return await queue.get()
+
+
+async def keyword_bounded(client, deadline_s):
+    return await client.fetch("/isn", timeout=deadline_s)
+
+
+async def constant_budget(client, deadline_s):
+    return await client.fetch("/isn", timeout=0.5)  # EXPECT:R019
+
+
+async def derived_budget(client, deadline_s):
+    remaining = deadline_s / 2.0
+    return await client.fetch("/isn", timeout=remaining)
+
+
+async def custom_io_unbounded(backend):
+    return await backend.poll()  # EXPECT:R019
+
+
+def swallow_bare(handle):
+    try:
+        handle.cancel()
+    except:  # EXPECT:R019
+        pass
+
+
+async def swallow_cancelled(queue, deadline_s):
+    try:
+        return await asyncio.wait_for(queue.get(), timeout=deadline_s)
+    except asyncio.CancelledError:  # EXPECT:R019
+        return None
+
+
+async def swallow_tuple(queue, deadline_s):
+    try:
+        return await asyncio.wait_for(queue.get(), timeout=deadline_s)
+    except (ValueError, asyncio.CancelledError):  # EXPECT:R019
+        return None
+
+
+async def reraise_cancelled(queue, deadline_s):
+    try:
+        return await asyncio.wait_for(queue.get(), timeout=deadline_s)
+    except asyncio.CancelledError:
+        raise
+    except Exception:
+        return None  # 'except Exception' misses CancelledError: clean
+
+
+async def spawn_and_drop(worker):
+    asyncio.create_task(worker())  # EXPECT:R019
+
+
+async def spawn_and_leak(worker):
+    task = asyncio.create_task(worker())  # EXPECT:R019
+    return admit()
+
+
+async def spawn_and_await(worker, deadline_s):
+    task = asyncio.create_task(worker())
+    return await asyncio.wait_for(task, timeout=deadline_s)
+
+
+async def suppressed_unbounded(reader):
+    return await reader.read(4)  # reprolint: disable=R019 -- one-shot handshake
+
+
+class Server:
+    def __init__(self):
+        self.tasks = []
+
+    async def spawn_registered(self, worker):
+        self.tasks.append(asyncio.create_task(worker()))

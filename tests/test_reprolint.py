@@ -90,6 +90,8 @@ RULE_FIXTURES = {
     "R015": "r015_async.py",
     "R016": "r016_hotpath",
     "R017": "r017_purity",
+    "R018": "r018_taint",
+    "R019": "r019_deadlines",
 }
 
 
@@ -566,9 +568,17 @@ class TestCli:
         captured = capsys.readouterr()
         assert "R003" in captured.out
 
-    def test_unknown_rule_is_usage_error(self, capsys):
+    def test_unknown_select_rule_is_usage_error_naming_the_id(self, capsys):
         assert reprolint_main(["--select", "R999", str(FIXTURES.parent)]) == 2
-        assert "unknown rule" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "unknown rule" in err
+        assert "R999" in err
+
+    def test_unknown_ignore_rule_is_usage_error_naming_the_id(self, capsys):
+        assert reprolint_main(["--ignore", "R042", str(FIXTURES.parent)]) == 2
+        err = capsys.readouterr().err
+        assert "unknown rule" in err
+        assert "R042" in err
 
     def test_list_rules(self, capsys):
         assert reprolint_main(["--list-rules"]) == 0

@@ -1,0 +1,285 @@
+"""Incremental-engine tests: result cache, dirty closure, stable bytes.
+
+The cache contract is that ``--cache-dir``, ``--jobs``, and
+``--changed-only`` are *pure accelerations*: the findings and the
+rendered report bytes must be identical to a cold serial run. These
+tests prove both directions — identical output, and that warm runs
+really skip analysis (a monkeypatched rule that raises is never
+invoked on a cache hit).
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from tools.reprolint import all_rules, lint_paths
+from tools.reprolint.cache import (
+    AnalysisCache,
+    FileResult,
+    layer_maps_fingerprint,
+    ruleset_version,
+)
+from tools.reprolint.cli import main as reprolint_main
+from tools.reprolint.core import Finding
+
+from test_reprolint import FIXTURES
+
+_WALL_CLOCK = "import time\n\n\ndef f() -> float:\n    return time.time()\n"
+_CLEAN = '"""Nothing here."""\n\nX = 1\n'
+
+
+def _stage(tmp_path: Path) -> Path:
+    tree = tmp_path / "sim"
+    tree.mkdir()
+    (tree / "legacy.py").write_text(_WALL_CLOCK)
+    (tree / "tidy.py").write_text(_CLEAN)
+    return tree
+
+
+class TestIncrementalCache:
+    def test_warm_run_identical_and_skips_analysis(
+        self, tmp_path, monkeypatch
+    ):
+        tree = _stage(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        cold = lint_paths([str(tree)], select=["R003"], cache_dir=cache_dir)
+        assert len(cold.findings) == 1
+
+        def boom(self, ctx):
+            raise AssertionError("per-file rule re-ran on a warm cache")
+
+        monkeypatch.setattr(all_rules()["R003"], "check", boom)
+        warm = lint_paths([str(tree)], select=["R003"], cache_dir=cache_dir)
+        assert warm.findings == cold.findings
+        assert warm.suppressed == cold.suppressed
+        assert warm.files_scanned == cold.files_scanned
+
+    def test_warm_run_skips_project_pass(self, tmp_path, monkeypatch):
+        tree = tmp_path / "r018_taint"
+        shutil.copytree(FIXTURES / "r018_taint", tree)
+        cache_dir = str(tmp_path / "cache")
+        cold = lint_paths([str(tree)], select=["R018"], cache_dir=cache_dir)
+        assert cold.findings
+
+        def boom(self, ctxs, project):
+            raise AssertionError("project rule re-ran on a warm cache")
+
+        monkeypatch.setattr(all_rules()["R018"], "check_project", boom)
+        warm = lint_paths([str(tree)], select=["R018"], cache_dir=cache_dir)
+        assert warm.findings == cold.findings
+
+    def test_edit_reanalyzes_only_the_changed_file(
+        self, tmp_path, monkeypatch
+    ):
+        tree = _stage(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        lint_paths([str(tree)], select=["R003"], cache_dir=cache_dir)
+
+        (tree / "tidy.py").write_text(_CLEAN + "\nY = 2\n")
+        analyzed = []
+        original = all_rules()["R003"].check
+
+        def spy(self, ctx):
+            analyzed.append(ctx.path)
+            return original(self, ctx)
+
+        monkeypatch.setattr(all_rules()["R003"], "check", spy)
+        result = lint_paths([str(tree)], select=["R003"], cache_dir=cache_dir)
+        assert len(result.findings) == 1  # legacy.py, straight from cache
+        assert [Path(p).name for p in analyzed] == ["tidy.py"]
+
+    def test_edit_updates_findings(self, tmp_path):
+        tree = _stage(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        cold = lint_paths([str(tree)], select=["R003"], cache_dir=cache_dir)
+        assert len(cold.findings) == 1
+        (tree / "tidy.py").write_text(
+            "import time\n\n\ndef g() -> float:\n    return time.monotonic()\n"
+        )
+        edited = lint_paths([str(tree)], select=["R003"], cache_dir=cache_dir)
+        assert len(edited.findings) == 2
+        assert {Path(f.path).name for f in edited.findings} == {
+            "legacy.py",
+            "tidy.py",
+        }
+
+    def test_analyzer_version_invalidates(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        first = AnalysisCache(str(cache_dir), "ruleset-a", "maps-a")
+        first.store_file_result(
+            "x.py", "h1", "R003",
+            FileResult(
+                findings=[Finding("x.py", 1, 1, "R003", "stale")],
+                suppressed=[], errors=[],
+            ),
+        )
+        first.store_imports("x.py", "h1", [])
+        # save() prunes vanished paths, so the key must exist on disk.
+        (tmp_path / "x.py").write_text("pass\n")
+        import os
+
+        cwd = os.getcwd()
+        os.chdir(tmp_path)
+        try:
+            first.save()
+            same = AnalysisCache(str(cache_dir), "ruleset-a", "maps-a")
+            assert same.file_result("x.py", "h1", "R003") is not None
+            bumped = AnalysisCache(str(cache_dir), "ruleset-b", "maps-a")
+            assert bumped.file_result("x.py", "h1", "R003") is None
+            remapped = AnalysisCache(str(cache_dir), "ruleset-a", "maps-b")
+            assert remapped.file_result("x.py", "h1", "R003") is None
+        finally:
+            os.chdir(cwd)
+
+    def test_layer_map_edit_changes_fingerprint(self, tmp_path):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        (tree / "layers.toml").write_text('[layers]\nsim = ["mod"]\n')
+        module = tree / "mod.py"
+        module.write_text("X = 1\n")
+        before = layer_maps_fingerprint([module])
+        (tree / "layers.toml").write_text('[layers]\nsim = ["other"]\n')
+        after = layer_maps_fingerprint([module])
+        assert before != after
+
+    def test_ruleset_version_is_stable_hex(self):
+        version = ruleset_version()
+        assert version == ruleset_version()
+        int(version, 16)
+
+    def test_corrupt_cache_is_ignored(self, tmp_path):
+        tree = _stage(tmp_path)
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        (cache_dir / "cache.json").write_text("{definitely not json")
+        result = lint_paths(
+            [str(tree)], select=["R003"], cache_dir=str(cache_dir)
+        )
+        assert len(result.findings) == 1
+        # ...and the broken file was atomically replaced with a valid one.
+        payload = json.loads((cache_dir / "cache.json").read_text())
+        assert payload["ruleset"] == ruleset_version()
+
+
+def _git(cwd: Path, *args: str) -> None:
+    subprocess.run(
+        ["git", *args], cwd=cwd, check=True, capture_output=True, text=True,
+        env={
+            "GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+            "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t",
+            "HOME": str(cwd), "PATH": __import__("os").environ["PATH"],
+        },
+    )
+
+
+def _scratch_repo(tmp_path: Path) -> Path:
+    repo = tmp_path / "repo"
+    tree = repo / "sim"
+    tree.mkdir(parents=True)
+    (tree / "base.py").write_text("def scale(x):\n    return 2 * x\n")
+    (tree / "caller.py").write_text(
+        "from sim.base import scale\n\n\ndef run():\n    return scale(1)\n"
+    )
+    (tree / "bystander.py").write_text('"""Imports nothing."""\nZ = 3\n')
+    _git(repo, "init", "-q")
+    _git(repo, "add", "-A")
+    _git(repo, "commit", "-qm", "seed")
+    return repo
+
+
+class TestChangedOnly:
+    def test_reverse_importers_join_the_dirty_closure(
+        self, tmp_path, monkeypatch
+    ):
+        repo = _scratch_repo(tmp_path)
+        monkeypatch.chdir(repo)
+        (repo / "sim" / "base.py").write_text(
+            "def scale(x):\n    return 3 * x\n"
+        )
+        result = lint_paths(["sim"], select=["R003"], changed_only=True)
+        # base.py changed; caller.py imports it; bystander.py is exempt.
+        assert result.files_scanned == 2
+
+    def test_clean_checkout_reports_nothing(self, tmp_path, monkeypatch):
+        repo = _scratch_repo(tmp_path)
+        monkeypatch.chdir(repo)
+        result = lint_paths(["sim"], select=["R003"], changed_only=True)
+        assert result.files_scanned == 0
+        assert result.findings == []
+
+    def test_changed_findings_still_fire(self, tmp_path, monkeypatch):
+        repo = _scratch_repo(tmp_path)
+        monkeypatch.chdir(repo)
+        (repo / "sim" / "base.py").write_text(_WALL_CLOCK)
+        result = lint_paths(["sim"], select=["R003"], changed_only=True)
+        assert [f.rule_id for f in result.findings] == ["R003"]
+
+    def test_outside_git_is_usage_error(self, tmp_path, monkeypatch, capsys):
+        tree = _stage(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("GIT_DIR", str(tmp_path / "nonexistent.git"))
+        assert reprolint_main([str(tree), "--changed-only"]) == 2
+        assert "changed-only" in capsys.readouterr().err
+
+
+class TestReportStability:
+    """Same tree, different CWDs / job counts / cache states — the
+    JSON and SARIF reports must be byte-identical (fingerprints in CI
+    diff them across runs)."""
+
+    def _tree(self, root: Path) -> None:
+        tree = root / "r018_taint"
+        shutil.copytree(FIXTURES / "r018_taint", tree)
+
+    @pytest.mark.parametrize("fmt", ["json", "sarif"])
+    def test_two_cwds_byte_identical(self, tmp_path, monkeypatch, fmt):
+        for name in ("left", "right"):
+            workdir = tmp_path / name
+            workdir.mkdir()
+            self._tree(workdir)
+        outputs = {}
+        for name in ("left", "right"):
+            monkeypatch.chdir(tmp_path / name)
+            out = tmp_path / f"{name}.{fmt}"
+            assert (
+                reprolint_main(
+                    ["r018_taint", "--select", "R018", "--format", fmt,
+                     "--output", str(out), "--exit-zero"]
+                )
+                == 0
+            )
+            outputs[name] = out.read_bytes()
+        assert outputs["left"] == outputs["right"]
+
+    @pytest.mark.parametrize("fmt", ["json", "sarif"])
+    def test_jobs_and_cache_states_byte_identical(
+        self, tmp_path, monkeypatch, fmt
+    ):
+        workdir = tmp_path / "work"
+        workdir.mkdir()
+        self._tree(workdir)
+        monkeypatch.chdir(workdir)
+        cache_dir = str(tmp_path / "cache")
+        variants = {
+            "serial-cold": ["--jobs", "1"],
+            "parallel-cold": ["--jobs", "4"],
+            "cached-cold": ["--jobs", "1", "--cache-dir", cache_dir],
+            "cached-warm": ["--jobs", "4", "--cache-dir", cache_dir],
+        }
+        reports = {}
+        for name, extra in variants.items():
+            out = tmp_path / f"{name}.{fmt}"
+            assert (
+                reprolint_main(
+                    ["r018_taint", "--select", "R018", "--format", fmt,
+                     "--output", str(out), "--exit-zero", *extra]
+                )
+                == 0
+            )
+            reports[name] = out.read_bytes()
+        assert len(set(reports.values())) == 1, sorted(reports)

@@ -1,0 +1,95 @@
+"""R019 deadline-propagation tests beyond the generic fixture harness.
+
+``test_reprolint.py`` pins the r019_deadlines fixture's exact finding
+lines and suppression; here we check the scoping contract and run the
+acceptance-criteria mutation regression: an async serving shim grafted
+onto a copy of the real ``runtime/clock.py`` with an unbounded await
+and a swallowed ``CancelledError`` fires R019 at exactly those lines —
+the gate the future live-serving PR must pass.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from tools.reprolint import lint_paths
+
+from test_reprolint import REPO_ROOT
+
+_RUNTIME_MAP = (
+    "[layers]\n"
+    'runtime = ["runtime"]\n'
+    "\n"
+    "[deadlines]\n"
+    'layers = ["runtime"]\n'
+)
+
+_SERVE_SHIM = (
+    "\n"
+    "\n"
+    "import asyncio\n"
+    "\n"
+    "\n"
+    "async def serve(reader, writer, deadline_s):\n"
+    "    payload = await reader.read(65536)\n"
+    "    try:\n"
+    "        writer.write(payload)\n"
+    "        await asyncio.wait_for(writer.drain(), timeout=deadline_s)\n"
+    "    except BaseException:\n"
+    "        pass\n"
+)
+
+
+def _stage(root: Path, source: str, layer_map: str = _RUNTIME_MAP) -> Path:
+    root.mkdir(parents=True, exist_ok=True)
+    (root / "layers.toml").write_text(layer_map)
+    target_dir = root / "runtime"
+    target_dir.mkdir()
+    (target_dir / "clock.py").write_text(source)
+    return target_dir
+
+
+class TestRuntimeMutationRegression:
+    def test_real_runtime_clock_is_clean(self, tmp_path):
+        source = (REPO_ROOT / "src/repro/runtime/clock.py").read_text()
+        clean_dir = _stage(tmp_path / "clean", source)
+        assert lint_paths([str(clean_dir)], select=["R019"]).findings == []
+
+    def test_unbounded_await_and_swallowed_cancel_fail_at_lines(self, tmp_path):
+        source = (REPO_ROOT / "src/repro/runtime/clock.py").read_text()
+        mutated = source + _SERVE_SHIM
+        bad_dir = _stage(tmp_path / "bad", mutated)
+        result = lint_paths([str(bad_dir)], select=["R019"])
+        assert [f.rule_id for f in result.findings] == ["R019", "R019"]
+        await_line = 1 + mutated[: mutated.index("await reader.read")].count("\n")
+        except_line = 1 + mutated[: mutated.index("except BaseException")].count(
+            "\n"
+        )
+        assert sorted(f.line for f in result.findings) == sorted(
+            [await_line, except_line]
+        )
+        messages = {f.line: f.message for f in result.findings}
+        assert "no deadline bound" in messages[await_line]
+        assert "CancelledError" in messages[except_line]
+
+    def test_no_deadlines_section_means_silent(self, tmp_path):
+        # Sound-by-omission: the same shim under a map without a
+        # [deadlines] section produces nothing.
+        source = (REPO_ROOT / "src/repro/runtime/clock.py").read_text()
+        plain = "[layers]\n" 'runtime = ["runtime"]\n'
+        bad_dir = _stage(tmp_path / "bad", source + _SERVE_SHIM, plain)
+        assert lint_paths([str(bad_dir)], select=["R019"]).findings == []
+
+    def test_non_deadline_layer_exempt(self, tmp_path):
+        # The shim in a module mapped to a layer NOT listed under
+        # [deadlines] layers is out of scope.
+        source = (REPO_ROOT / "src/repro/runtime/clock.py").read_text()
+        sim_map = (
+            "[layers]\n"
+            'sim = ["runtime"]\n'
+            "\n"
+            "[deadlines]\n"
+            'layers = ["serving"]\n'
+        )
+        bad_dir = _stage(tmp_path / "bad", source + _SERVE_SHIM, sim_map)
+        assert lint_paths([str(bad_dir)], select=["R019"]).findings == []

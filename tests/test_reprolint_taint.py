@@ -1,0 +1,132 @@
+"""R018 determinism-taint tests beyond the generic fixture harness.
+
+``test_reprolint.py`` already pins the r018_taint fixture's exact
+finding lines and its suppression; this module exercises the pieces of
+the dataflow machinery that need dedicated setups:
+
+* declared sanitizers killing taint that interprocedural propagation
+  would otherwise carry (and resurfacing it when the declaration is
+  removed);
+* sound-by-omission scoping — no ``[taint]`` section means no findings;
+* the mutation regression from the acceptance criteria: a wall-clock
+  read stored into a result dict in a copy of the real
+  ``harness/result.py`` fires R018 at exactly the edited line.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from tools.reprolint import lint_paths
+
+from test_reprolint import REPO_ROOT
+
+_SANITIZER_MAP = (
+    "[layers]\n"
+    'sim = ["driver"]\n'
+    'harness = ["out"]\n'
+    "\n"
+    "[taint]\n"
+    'sink_modules = ["out"]\n'
+    'sanitizers = ["quantize"]\n'
+)
+
+_DRIVER = (
+    "import time\n"
+    "\n"
+    "from out import record\n"
+    "\n"
+    "\n"
+    "def quantize(value):\n"
+    "    return value\n"
+    "\n"
+    "\n"
+    "def flow():\n"
+    "    t0 = time.time()\n"
+    "    record(quantize(t0))\n"
+)
+
+_OUT = "def record(payload):\n    return dict(payload)\n"
+
+
+def _stage(tmp_path: Path, layer_map: str) -> Path:
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    (tree / "layers.toml").write_text(layer_map)
+    (tree / "driver.py").write_text(_DRIVER)
+    (tree / "out.py").write_text(_OUT)
+    return tree
+
+
+class TestSanitizers:
+    def test_declared_sanitizer_kills_propagated_taint(self, tmp_path):
+        # quantize() returns its argument, so the summary machinery
+        # would propagate the wall-clock taint straight into the sink —
+        # unless the layers.toml declaration makes quantize a sanitizer.
+        tree = _stage(tmp_path, _SANITIZER_MAP)
+        assert lint_paths([str(tree)], select=["R018"]).findings == []
+
+    def test_removing_declaration_resurfaces_flow(self, tmp_path):
+        undeclared = _SANITIZER_MAP.replace('sanitizers = ["quantize"]\n', "")
+        tree = _stage(tmp_path, undeclared)
+        result = lint_paths([str(tree)], select=["R018"])
+        assert [f.rule_id for f in result.findings] == ["R018"]
+        sink_line = 1 + _DRIVER[: _DRIVER.index("record(quantize")].count("\n")
+        assert result.findings[0].line == sink_line
+        assert "wall-clock read" in result.findings[0].message
+
+    def test_no_taint_section_means_silent(self, tmp_path):
+        # Sound-by-omission: the same flow with no [taint] section in
+        # the governing map produces nothing.
+        plain = "[layers]\n" 'sim = ["driver", "out"]\n'
+        tree = _stage(tmp_path, plain)
+        assert lint_paths([str(tree)], select=["R018"]).findings == []
+
+
+class TestResultMutationRegression:
+    """Acceptance criterion: a wall-clock-derived value flowed into a
+    result dict in a copy of the real tree fires R018 at the edited
+    line."""
+
+    _MAP = (
+        "[layers]\n"
+        'harness = ["harness"]\n'
+        "\n"
+        "[taint]\n"
+        'sink_modules = ["harness.result"]\n'
+    )
+
+    _SHIM = (
+        "\n"
+        "\n"
+        "import time\n"
+        "\n"
+        "\n"
+        "def finalize(payload):\n"
+        '    payload["written_at"] = time.time()\n'
+        "    return payload\n"
+    )
+
+    def _stage(self, root: Path, source: str) -> Path:
+        root.mkdir(parents=True, exist_ok=True)
+        (root / "layers.toml").write_text(self._MAP)
+        target_dir = root / "harness"
+        target_dir.mkdir()
+        (target_dir / "result.py").write_text(source)
+        return target_dir
+
+    def test_wall_clock_into_result_dict_fails_at_line(self, tmp_path):
+        source = (REPO_ROOT / "src/repro/harness/result.py").read_text()
+        clean_dir = self._stage(tmp_path / "clean", source)
+        assert lint_paths([str(clean_dir)], select=["R018"]).findings == []
+
+        mutated = source + self._SHIM
+        bad = 'payload["written_at"] = time.time()'
+        bad_dir = self._stage(tmp_path / "bad", mutated)
+        result = lint_paths([str(bad_dir)], select=["R018"])
+        assert [f.rule_id for f in result.findings] == ["R018"]
+        finding = result.findings[0]
+        bad_line = 1 + mutated[: mutated.index(bad)].count("\n")
+        assert finding.line == bad_line
+        assert "wall-clock read" in finding.message
+        assert "harness.result" in finding.message

@@ -14,13 +14,23 @@ measure, RNG stream collisions, typed config consumption, thread
 safety, experiment registration, architectural layering + kernel clock
 discipline driven by the declarative map in ``layers.toml`` (R014),
 async/blocking safety (R015), hot-path numpy performance on the
-query-execution path (R016), and policy-kernel purity (R017).
+query-execution path (R016), policy-kernel purity (R017), determinism
+taint flowing into kernel decisions / serialized results / provenance
+manifests (R018), and deadline propagation through the async runtime
+(R019).
+
+The driver is incremental: per-file and whole-program results are
+cached under ``--cache-dir`` keyed on content hashes, the analyzer's
+own source hash, and the layer-map fingerprint; ``--jobs`` parallelizes
+parsing; ``--changed-only`` lints the git-dirty transitive closure.
+Reports are byte-identical across cache states and job counts.
 
 Usage::
 
     python -m tools.reprolint src tests
     python -m tools.reprolint --format json src
     python -m tools.reprolint --list-rules
+    python -m tools.reprolint src tests tools --cache-dir .reprolint-cache --changed-only
 
 Findings can be suppressed per line with a justification::
 

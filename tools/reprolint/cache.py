@@ -1,0 +1,329 @@
+"""Content-hash-keyed incremental result cache for reprolint.
+
+A lint run is a pure function of (file contents, rule set, layer maps),
+so its results can be reused verbatim as long as those inputs are
+unchanged. The cache exploits that at two granularities:
+
+* **Per-file results** — findings, suppressions, and parse errors from
+  the per-file rules, keyed on the file's content hash and the id list
+  of the rules that ran. A warm hit skips parsing *and* analysis.
+* **Whole-program results** — the project rules read the entire module
+  graph, so their findings are keyed on a fingerprint of every
+  ``(path, content hash)`` pair in the run plus the set of paths being
+  reported on. Any edit anywhere misses; an untouched tree hits and
+  skips building the :class:`~tools.reprolint.project.ProjectModel`
+  entirely.
+* **Import edges** — each file's imported dotted names, keyed on its
+  content hash, so ``--changed-only`` can compute the dirty transitive
+  closure (changed files plus everything that imports them) without
+  re-parsing the unchanged remainder of the tree.
+
+Two global inputs version the whole cache: the **rule-set hash**
+(contents of every ``tools/reprolint/*.py`` source — any analyzer edit
+invalidates everything) and the **layer-map fingerprint** (contents of
+every ``layers.toml`` governing the linted files — sinks, sanitizers,
+layer assignments, and deadline scopes all live there). Either changing
+drops the cache rather than risking stale findings.
+
+Storage is a single JSON document under the cache directory, written
+atomically (temp file + rename) so an interrupted run can never leave a
+half-written cache; a corrupt or unreadable file deserializes as an
+empty cache. Entries for paths that no longer exist are pruned on save
+so test-suite runs over ``tmp_path`` trees do not accrete.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from tools.reprolint.core import Finding
+
+#: bump when the serialized layout changes
+CACHE_FORMAT = 1
+#: per-path cap on distinct rule-selection results kept
+_MAX_RESULTS_PER_PATH = 4
+#: cap on whole-program entries kept (full runs + changed-only subsets)
+_MAX_PROJECT_ENTRIES = 16
+
+
+def content_hash(text: str) -> str:
+    """Stable short hash of one file's contents."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:20]
+
+
+_RULESET_HASH: Optional[str] = None
+
+
+def ruleset_version() -> str:
+    """Hash of every analyzer source file (memoized per process).
+
+    Editing any rule, the project model, or this module invalidates all
+    cached results — the analyses themselves are an input to the run.
+    """
+    global _RULESET_HASH
+    if _RULESET_HASH is None:
+        digest = hashlib.sha256()
+        package_dir = Path(__file__).resolve().parent
+        for source in sorted(package_dir.glob("*.py")):
+            digest.update(source.name.encode("utf-8"))
+            digest.update(source.read_bytes())
+        _RULESET_HASH = digest.hexdigest()[:20]
+    return _RULESET_HASH
+
+
+#: probe locations mirrored from layers.find_layer_map
+_MAP_LOCATIONS = ("layers.toml", os.path.join("tools", "reprolint", "layers.toml"))
+
+
+def layer_maps_fingerprint(files: Sequence[Path]) -> str:
+    """Hash of every ``layers.toml`` that could govern ``files``.
+
+    Walks each file's ancestor chain (deduplicated across files) probing
+    the same locations :func:`~tools.reprolint.layers.find_layer_map`
+    does. Over-approximates — a shadowed ancestor map still contributes
+    — which can only invalidate more than strictly necessary.
+    """
+    seen_dirs: set = set()
+    found: Dict[str, str] = {}
+    for file_path in files:
+        try:
+            directory = file_path.resolve().parent
+        except OSError:  # pragma: no cover - unresolvable path
+            continue
+        for ancestor in [directory, *directory.parents]:
+            key = str(ancestor)
+            if key in seen_dirs:
+                break
+            seen_dirs.add(key)
+            for location in _MAP_LOCATIONS:
+                candidate = ancestor / location
+                if candidate.is_file():
+                    found[candidate.as_posix()] = content_hash(
+                        candidate.read_text(encoding="utf-8")
+                    )
+    digest = hashlib.sha256()
+    for path, text_hash in sorted(found.items()):
+        digest.update(f"{path}={text_hash};".encode("utf-8"))
+    return digest.hexdigest()[:20]
+
+
+def project_key(
+    file_hashes: Iterable[Tuple[str, str]],
+    report_paths: Iterable[str],
+    rules_sig: str,
+) -> str:
+    """Key for one whole-program pass: every (path, hash) pair in the
+    analysis universe plus the subset of paths being reported on."""
+    digest = hashlib.sha256()
+    for path, text_hash in sorted(file_hashes):
+        digest.update(f"{path}={text_hash};".encode("utf-8"))
+    digest.update(b"|report|")
+    for path in sorted(report_paths):
+        digest.update(f"{path};".encode("utf-8"))
+    digest.update(b"|rules|")
+    digest.update(rules_sig.encode("utf-8"))
+    return digest.hexdigest()[:24]
+
+
+def _findings_to_json(findings: Sequence[Finding]) -> List[List[object]]:
+    return [
+        [f.path, f.line, f.col, f.rule_id, f.message] for f in findings
+    ]
+
+
+def _findings_from_json(rows: Sequence[Sequence[object]]) -> List[Finding]:
+    return [
+        Finding(
+            path=str(row[0]),
+            line=int(row[1]),
+            col=int(row[2]),
+            rule_id=str(row[3]),
+            message=str(row[4]),
+        )
+        for row in rows
+    ]
+
+
+class FileResult:
+    """Decoded per-file cache payload."""
+
+    __slots__ = ("findings", "suppressed", "errors")
+
+    def __init__(
+        self,
+        findings: List[Finding],
+        suppressed: List[Finding],
+        errors: List[Finding],
+    ) -> None:
+        self.findings = findings
+        self.suppressed = suppressed
+        self.errors = errors
+
+
+class AnalysisCache:
+    """On-disk result cache; load once per run, save once at the end."""
+
+    def __init__(self, directory: str, ruleset: str, maps: str) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / "cache.json"
+        self._ruleset = ruleset
+        self._maps = maps
+        self._files: Dict[str, Dict] = {}
+        self._project: Dict[str, Dict] = {}
+        self._project_order: List[str] = []
+        self._load()
+
+    # -- persistence ---------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(payload, dict):
+            return
+        if payload.get("format") != CACHE_FORMAT:
+            return
+        if payload.get("ruleset") != self._ruleset:
+            return
+        if payload.get("maps") != self._maps:
+            return
+        files = payload.get("files")
+        project = payload.get("project")
+        order = payload.get("project_order")
+        if isinstance(files, dict):
+            self._files = files
+        if isinstance(project, dict) and isinstance(order, list):
+            self._project = project
+            self._project_order = [k for k in order if k in project]
+
+    def save(self) -> None:
+        """Atomically persist, pruning entries for vanished paths."""
+        self._files = {
+            path: entry
+            for path, entry in self._files.items()
+            if Path(path).exists()
+        }
+        while len(self._project_order) > _MAX_PROJECT_ENTRIES:
+            evicted = self._project_order.pop(0)
+            self._project.pop(evicted, None)
+        payload = {
+            "format": CACHE_FORMAT,
+            "ruleset": self._ruleset,
+            "maps": self._maps,
+            "files": self._files,
+            "project": self._project,
+            "project_order": self._project_order,
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        handle, temp_name = tempfile.mkstemp(
+            dir=str(self.directory), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                json.dump(payload, stream, separators=(",", ":"))
+            os.replace(temp_name, str(self.path))
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:  # pragma: no cover - already gone
+                pass
+            raise
+
+    # -- per-file results ----------------------------------------------
+
+    def _entry(self, path: str, text_hash: str) -> Optional[Dict]:
+        entry = self._files.get(path)
+        if entry is None or entry.get("hash") != text_hash:
+            return None
+        return entry
+
+    def file_result(
+        self, path: str, text_hash: str, rules_sig: str
+    ) -> Optional[FileResult]:
+        entry = self._entry(path, text_hash)
+        if entry is None:
+            return None
+        cached = entry.get("results", {}).get(rules_sig)
+        if cached is None:
+            return None
+        try:
+            return FileResult(
+                findings=_findings_from_json(cached["findings"]),
+                suppressed=_findings_from_json(cached["suppressed"]),
+                errors=_findings_from_json(cached["errors"]),
+            )
+        except (KeyError, TypeError, ValueError, IndexError):
+            return None
+
+    def store_file_result(
+        self,
+        path: str,
+        text_hash: str,
+        rules_sig: str,
+        result: FileResult,
+    ) -> None:
+        entry = self._entry(path, text_hash)
+        if entry is None:
+            entry = {"hash": text_hash, "results": {}}
+            self._files[path] = entry
+        results = entry.setdefault("results", {})
+        results.pop(rules_sig, None)
+        while len(results) >= _MAX_RESULTS_PER_PATH:
+            results.pop(next(iter(results)))
+        results[rules_sig] = {
+            "findings": _findings_to_json(result.findings),
+            "suppressed": _findings_to_json(result.suppressed),
+            "errors": _findings_to_json(result.errors),
+        }
+
+    # -- import edges --------------------------------------------------
+
+    def imports_for(self, path: str, text_hash: str) -> Optional[List[str]]:
+        entry = self._entry(path, text_hash)
+        if entry is None:
+            return None
+        imports = entry.get("imports")
+        if not isinstance(imports, list):
+            return None
+        return [str(name) for name in imports]
+
+    def store_imports(
+        self, path: str, text_hash: str, imports: Sequence[str]
+    ) -> None:
+        entry = self._entry(path, text_hash)
+        if entry is None:
+            entry = {"hash": text_hash, "results": {}}
+            self._files[path] = entry
+        entry["imports"] = sorted(set(imports))
+
+    # -- whole-program results -----------------------------------------
+
+    def project_result(self, key: str) -> Optional[FileResult]:
+        cached = self._project.get(key)
+        if cached is None:
+            return None
+        try:
+            return FileResult(
+                findings=_findings_from_json(cached["findings"]),
+                suppressed=_findings_from_json(cached["suppressed"]),
+                errors=[],
+            )
+        except (KeyError, TypeError, ValueError, IndexError):
+            return None
+
+    def store_project_result(
+        self, key: str, findings: Sequence[Finding], suppressed: Sequence[Finding]
+    ) -> None:
+        if key in self._project:
+            self._project_order.remove(key)
+        self._project[key] = {
+            "findings": _findings_to_json(findings),
+            "suppressed": _findings_to_json(suppressed),
+        }
+        self._project_order.append(key)

@@ -40,7 +40,7 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "AST-based determinism & simulation-correctness linter for "
             "this repository (per-file rules R001-R008 and whole-program "
-            "analyses R009-R017; see CONTRIBUTING.md). Exit codes: "
+            "analyses R009-R019; see CONTRIBUTING.md). Exit codes: "
             "0 clean, 1 findings, 2 usage error, 3 internal analyzer "
             "error."
         ),
@@ -82,6 +82,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="descend into fixture/cache directories normally skipped",
     )
     parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="parse files with N worker processes (default: 1); the "
+        "report is byte-identical to a serial run",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="enable the incremental result cache rooted at DIR "
+        "(keyed on content hashes, the analyzer version, and the "
+        "governing layers.toml files; e.g. .reprolint-cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore --cache-dir for this run (one-off cold run)",
+    )
+    parser.add_argument(
+        "--changed-only", action="store_true",
+        help="lint only git-changed files plus everything that "
+        "(transitively) imports them — the pre-commit fast path",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print every registered rule with its rationale and exit",
     )
@@ -105,6 +125,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             select=_split_rule_list(args.select),
             ignore=_split_rule_list(args.ignore),
             use_default_excludes=not args.no_default_excludes,
+            jobs=max(1, args.jobs),
+            cache_dir=None if args.no_cache else args.cache_dir,
+            changed_only=args.changed_only,
         )
     except (FileNotFoundError, ValueError) as exc:
         print(f"reprolint: error: {exc}", file=sys.stderr)

@@ -1,0 +1,410 @@
+"""Deadline/cancellation-propagation rule R019 for runtime-layer async code.
+
+The live-serving front door (ROADMAP: asyncio/HTTP ISN service) rehosts
+the simulator's admission/deadline/degree kernel on wall-clock time.
+The multi-stage-budget literature the design follows makes deadline
+propagation a *structural* invariant: every stage of a query's call
+path must be bounded by a deadline derived from the enclosing query
+budget, and cancellation must propagate when that budget is exhausted.
+R019 encodes the invariant now — fixture-tested before any serving code
+exists — so the serving PR is gated on arrival:
+
+* **Unbounded awaits** — in modules assigned to a ``[deadlines]``
+  layer, every awaited I/O-like call (socket/stream reads and writes,
+  queue gets, HTTP requests, ``serve_forever`` …) must carry a bound:
+  wrapped in ``asyncio.wait_for(...)``, inside an
+  ``async with asyncio.timeout(...)``/``timeout_at(...)`` block, or
+  passing an explicit deadline keyword (``deadline_s``, ``timeout`` …)
+  threaded from the caller.
+* **Constant budgets** — a numeric-literal timeout on an I/O call in a
+  function that *receives* a deadline parameter ignores the query
+  budget it was handed; the bound must derive from the parameter.
+* **Swallowed cancellation** — ``except`` clauses that catch
+  ``asyncio.CancelledError`` (explicitly, via ``except BaseException``,
+  or a bare ``except:``) must re-raise it; otherwise a cancelled query
+  keeps running and the budget machinery silently degrades.
+* **Leaked tasks** — every task spawned with ``create_task`` /
+  ``ensure_future`` must be awaited, gathered, registered in a
+  collection or attribute, or given a done-callback; a dropped handle
+  is garbage-collected mid-flight with its exceptions unobserved.
+
+Scope comes from the governing ``layers.toml``: modules whose layer is
+listed in ``[deadlines] layers``. Trees with no map or no
+``[deadlines]`` section are exempt (sound-by-omission), so the rule
+costs nothing until the runtime package grows async code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
+
+from tools.reprolint.asyncsafety import _canonical, _terminal
+from tools.reprolint.core import FileContext, Finding, Rule, register
+from tools.reprolint.layers import LayerMap, find_layer_map
+from tools.reprolint.project import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectModel,
+)
+
+#: awaited method names treated as I/O-like (extensible via layers.toml)
+_IO_METHODS = {
+    "read", "readline", "readuntil", "readexactly", "recv", "recv_into",
+    "send", "sendall", "sendto", "drain", "accept", "connect", "request",
+    "get", "put", "fetch", "post", "execute", "query", "wait_closed",
+    "start_serving", "serve_forever", "join",
+}
+#: awaited canonical dotted names treated as I/O-like
+_IO_CALLS = {
+    "asyncio.open_connection", "asyncio.start_server",
+    "asyncio.open_unix_connection", "asyncio.start_unix_server",
+}
+#: keyword names recognised as a deadline bound (extensible via toml)
+_DEADLINE_KEYWORDS = {
+    "timeout", "timeout_s", "deadline", "deadline_s", "budget_s",
+    "deadline_ts",
+}
+#: awaited wrappers that bound their inner call
+_BOUNDING_WRAPPERS = {"wait_for"}
+#: async context managers that bound their body
+_TIMEOUT_CONTEXTS = {"timeout", "timeout_at", "move_on_after", "fail_after"}
+#: task-spawning callables whose handle must not be dropped
+_TASK_SPAWNERS = {"create_task", "ensure_future"}
+#: uses of a task handle that count as "registered"
+_REGISTERING_METHODS = {
+    "append", "add", "register", "add_done_callback", "extend", "discard",
+}
+
+
+def _catches_cancellation(handler: ast.ExceptHandler) -> Optional[str]:
+    """How this handler catches CancelledError, or None if it cannot."""
+    if handler.type is None:
+        return "bare 'except:'"
+    heads: List[ast.expr] = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for head in heads:
+        name = _terminal(head)
+        if name == "CancelledError":
+            return "'except CancelledError'"
+        if name == "BaseException":
+            return "'except BaseException'"
+    return None
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """True if the handler body re-raises the caught exception (bare
+    ``raise`` or ``raise <caught name>``) on some path."""
+    caught = handler.name
+
+    def scan(statements: Sequence[ast.stmt]) -> bool:
+        for statement in statements:
+            if isinstance(
+                statement,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                continue
+            if isinstance(statement, ast.Raise):
+                if statement.exc is None:
+                    return True
+                if (
+                    caught is not None
+                    and isinstance(statement.exc, ast.Name)
+                    and statement.exc.id == caught
+                ):
+                    return True
+                if _terminal(statement.exc) == "CancelledError" or (
+                    isinstance(statement.exc, ast.Call)
+                    and _terminal(statement.exc.func) == "CancelledError"
+                ):
+                    return True
+            for attr in ("body", "orelse", "finalbody"):
+                children = getattr(statement, attr, None)
+                if children and scan(children):
+                    return True
+            for nested in getattr(statement, "handlers", []) or []:
+                if scan(nested.body):
+                    return True
+        return False
+
+    return scan(handler.body)
+
+
+@register
+class DeadlinePropagationRule(Rule):
+    """R019 — runtime async code must thread deadlines and cancellation."""
+
+    rule_id = "R019"
+    summary = "awaits bounded by deadlines; cancellation propagated; tasks kept"
+    rationale = (
+        "The serving runtime executes the kernel's admission/deadline "
+        "decisions on wall-clock time. An awaited I/O call with no bound "
+        "turns one slow shard into an unbounded stall of the whole "
+        "query; an except clause that eats CancelledError keeps "
+        "cancelled queries running past their budget; a dropped task "
+        "handle is collected mid-flight with its exception unobserved. "
+        "Deadlines must be threaded from the query budget, not invented "
+        "as constants downstream."
+    )
+    project_rule = True
+
+    def check_project(
+        self, ctxs: Sequence[FileContext], project: ProjectModel
+    ) -> Iterator[Finding]:
+        for ctx in ctxs:
+            module = project.by_path.get(ctx.path)
+            if module is None:  # pragma: no cover - defensive
+                continue
+            layer_map = find_layer_map(ctx.path)
+            if layer_map is None or not layer_map.deadlines.enabled:
+                continue
+            layer = layer_map.layer_of(module.name)
+            if not layer_map.is_deadline_layer(layer):
+                continue
+            io_methods = _IO_METHODS | set(layer_map.deadlines.io_methods)
+            deadline_names = _DEADLINE_KEYWORDS | set(
+                layer_map.deadlines.deadline_params
+            )
+            for fn, _owner in self._functions(module):
+                node = fn.node
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                yield from self._check_cancellation(ctx, node, fn)
+                if isinstance(node, ast.AsyncFunctionDef):
+                    yield from self._check_awaits(
+                        ctx, module, fn, io_methods, deadline_names
+                    )
+                    yield from self._check_tasks(ctx, fn)
+
+    @staticmethod
+    def _functions(
+        module: ModuleInfo,
+    ) -> Iterator[Tuple[FunctionInfo, Optional[ClassInfo]]]:
+        for fn in module.functions.values():
+            yield fn, None
+        for cls_info in module.classes.values():
+            for fn in cls_info.methods.values():
+                yield fn, cls_info
+
+    # ------------------------------------------------------------------
+    # Unbounded / constant-bounded awaits
+    # ------------------------------------------------------------------
+
+    def _check_awaits(
+        self,
+        ctx: FileContext,
+        module: ModuleInfo,
+        fn: FunctionInfo,
+        io_methods: Set[str],
+        deadline_names: Set[str],
+    ) -> Iterator[Finding]:
+        deadline_params = sorted(
+            {p.arg for p in fn.params} & deadline_names
+        )
+        #: names derived from a deadline parameter within this function
+        derived: Set[str] = set(deadline_params)
+        for statement in ast.walk(fn.node):
+            if isinstance(statement, ast.Assign) and self._mentions(
+                statement.value, derived
+            ):
+                for target in statement.targets:
+                    if isinstance(target, ast.Name):
+                        derived.add(target.id)
+
+        for await_node, timeout_guarded in self._awaits(fn.node):
+            call = await_node.value
+            if not isinstance(call, ast.Call):
+                continue
+            if not self._is_io_call(call, module, io_methods):
+                continue
+            if timeout_guarded:
+                continue
+            bound = self._deadline_keyword(call, deadline_names)
+            if bound is None:
+                yield self.finding(
+                    ctx, await_node,
+                    f"awaited I/O call '{self._describe(call)}' has no "
+                    f"deadline bound in 'async def {fn.name}'; wrap it in "
+                    "asyncio.wait_for(...) / 'async with asyncio."
+                    "timeout(...)', or pass a deadline_s derived from the "
+                    "caller's budget",
+                )
+                continue
+            if deadline_params and self._is_constant_expr(bound.value) and not (
+                self._mentions(bound.value, derived)
+            ):
+                yield self.finding(
+                    ctx, await_node,
+                    f"'{self._describe(call)}' bounds the await with a "
+                    f"constant {bound.arg}= although 'async def {fn.name}' "
+                    f"receives '{deadline_params[0]}'; derive the bound "
+                    "from the query budget instead of a literal",
+                )
+
+    @staticmethod
+    def _awaits(
+        scope: ast.AST,
+    ) -> Iterator[Tuple[ast.Await, bool]]:
+        """(await node, inside-timeout-context) pairs for ``scope``,
+        skipping nested function definitions."""
+
+        def walk(node: ast.AST, guarded: bool) -> Iterator[Tuple[ast.Await, bool]]:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                ):
+                    continue
+                child_guarded = guarded
+                if isinstance(child, (ast.With, ast.AsyncWith)) and any(
+                    isinstance(item.context_expr, ast.Call)
+                    and _terminal(item.context_expr.func) in _TIMEOUT_CONTEXTS
+                    for item in child.items
+                ):
+                    child_guarded = True
+                if isinstance(child, ast.Await):
+                    yield child, child_guarded
+                yield from walk(child, child_guarded)
+
+        yield from walk(scope, False)
+
+    def _is_io_call(
+        self, call: ast.Call, module: ModuleInfo, io_methods: Set[str]
+    ) -> bool:
+        terminal = _terminal(call.func)
+        if terminal in _BOUNDING_WRAPPERS:
+            return False  # wait_for IS the bound
+        canonical = _canonical(call.func, module)
+        if canonical in _IO_CALLS:
+            return True
+        return (
+            isinstance(call.func, ast.Attribute) and terminal in io_methods
+        )
+
+    @staticmethod
+    def _deadline_keyword(
+        call: ast.Call, deadline_names: Set[str]
+    ) -> Optional[ast.keyword]:
+        for keyword in call.keywords:
+            if keyword.arg in deadline_names:
+                return keyword
+        return None
+
+    @staticmethod
+    def _is_constant_expr(expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Constant):
+            return isinstance(expr.value, (int, float))
+        if isinstance(expr, ast.UnaryOp):
+            return DeadlinePropagationRule._is_constant_expr(expr.operand)
+        return False
+
+    @staticmethod
+    def _mentions(expr: ast.expr, names: Set[str]) -> bool:
+        return any(
+            isinstance(node, ast.Name) and node.id in names
+            for node in ast.walk(expr)
+        )
+
+    @staticmethod
+    def _describe(call: ast.Call) -> str:
+        try:
+            return ast.unparse(call.func) + "(...)"
+        except Exception:  # pragma: no cover - defensive
+            return "<call>(...)"
+
+    # ------------------------------------------------------------------
+    # Swallowed cancellation
+    # ------------------------------------------------------------------
+
+    def _check_cancellation(
+        self, ctx: FileContext, node: ast.AST, fn: FunctionInfo
+    ) -> Iterator[Finding]:
+        for child in ast.walk(node):
+            if not isinstance(child, ast.Try):
+                continue
+            for handler in child.handlers:
+                how = _catches_cancellation(handler)
+                if how is None:
+                    continue
+                if _reraises(handler):
+                    continue
+                yield self.finding(
+                    ctx, handler,
+                    f"{how} in '{fn.name}' swallows "
+                    "asyncio.CancelledError — the cancelled query keeps "
+                    "running past its budget; re-raise it ('raise') after "
+                    "any cleanup, or narrow the except clause",
+                )
+
+    # ------------------------------------------------------------------
+    # Leaked tasks
+    # ------------------------------------------------------------------
+
+    def _check_tasks(
+        self, ctx: FileContext, fn: FunctionInfo
+    ) -> Iterator[Finding]:
+        assert isinstance(fn.node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        #: task-handle local names -> the spawning statement
+        handles: List[Tuple[str, ast.stmt, ast.Call]] = []
+        for statement in ast.walk(fn.node):
+            if isinstance(statement, ast.Expr) and isinstance(
+                statement.value, ast.Call
+            ):
+                call = statement.value
+                if self._spawns_task(call):
+                    yield self.finding(
+                        ctx, statement,
+                        f"task spawned by '{self._describe(call)}' is "
+                        "neither awaited nor registered — the handle is "
+                        "dropped and the task can be garbage-collected "
+                        "mid-flight; keep it (await/gather, store it, or "
+                        "add_done_callback)",
+                    )
+            elif isinstance(statement, ast.Assign) and isinstance(
+                statement.value, (ast.Call, ast.Await)
+            ):
+                value = statement.value
+                call = value.value if isinstance(value, ast.Await) else value
+                if isinstance(value, ast.Await):
+                    continue  # awaited at spawn: bounded elsewhere
+                if not isinstance(call, ast.Call) or not self._spawns_task(call):
+                    continue
+                target = statement.targets[0] if statement.targets else None
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    continue  # registered in an attribute/collection
+                if isinstance(target, ast.Name):
+                    handles.append((target.id, statement, call))
+
+        for name, statement, call in handles:
+            if name == "_" or not self._handle_kept(fn.node, name, statement):
+                yield self.finding(
+                    ctx, statement,
+                    f"task handle '{name}' from "
+                    f"'{self._describe(call)}' is never awaited, "
+                    "gathered, or registered in this function; a dropped "
+                    "handle is garbage-collected with its exception "
+                    "unobserved",
+                )
+
+    @staticmethod
+    def _spawns_task(call: ast.Call) -> bool:
+        return _terminal(call.func) in _TASK_SPAWNERS
+
+    @staticmethod
+    def _handle_kept(
+        scope: ast.AST, name: str, spawn_statement: ast.stmt
+    ) -> bool:
+        """True if ``name`` is loaded anywhere after the spawn: awaited,
+        passed on, stored, or returned."""
+        for node in ast.walk(scope):
+            if (
+                isinstance(node, ast.Name)
+                and node.id == name
+                and isinstance(node.ctx, ast.Load)
+            ):
+                return True
+        return False

@@ -57,6 +57,50 @@ class PurityConfig:
     layers: Tuple[str, ...] = ()
 
 
+@dataclass(frozen=True)
+class TaintConfig:
+    """Determinism-taint configuration for R018.
+
+    ``sink_modules`` are dotted module-name prefixes (matched with the
+    same segment-aligned, suffix-tolerant semantics as layer prefixes):
+    a nondeterministic value flowing into a call of a function defined
+    in one of them — or returned / stored inside one of them — is a
+    finding. ``sink_functions`` name individual callables (terminal or
+    dotted) that are sinks wherever they are defined. ``sanitizers``
+    name callables whose result is always considered deterministic,
+    killing taint (``sorted`` is built in; declare domain sanitizers
+    such as ``VirtualClock`` or ``RngFactory`` here).
+    """
+
+    sink_modules: Tuple[str, ...] = ()
+    sink_functions: Tuple[str, ...] = ()
+    sanitizers: Tuple[str, ...] = ()
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.sink_modules or self.sink_functions)
+
+
+@dataclass(frozen=True)
+class DeadlineConfig:
+    """Deadline/cancellation-propagation scope for R019.
+
+    ``layers`` lists the layer names whose async code must thread
+    deadlines (the live-serving runtime). ``deadline_params`` extends
+    the built-in set of keyword names recognised as a deadline bound;
+    ``io_methods`` extends the built-in set of awaited method names
+    treated as I/O-like.
+    """
+
+    layers: Tuple[str, ...] = ()
+    deadline_params: Tuple[str, ...] = ()
+    io_methods: Tuple[str, ...] = ()
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.layers)
+
+
 @dataclass
 class LayerMap:
     """Parsed layer map: assignments, import order, and rule configs."""
@@ -68,6 +112,8 @@ class LayerMap:
     clock: ClockConfig = field(default_factory=ClockConfig)
     hotpath: HotpathConfig = field(default_factory=HotpathConfig)
     purity: PurityConfig = field(default_factory=PurityConfig)
+    taint: TaintConfig = field(default_factory=TaintConfig)
+    deadlines: DeadlineConfig = field(default_factory=DeadlineConfig)
     #: where the map was loaded from (diagnostics)
     source: Optional[str] = None
 
@@ -99,6 +145,21 @@ class LayerMap:
     def is_purity_layer(self, layer: Optional[str]) -> bool:
         return layer is not None and layer in self.purity.layers
 
+    def is_deadline_layer(self, layer: Optional[str]) -> bool:
+        return layer is not None and layer in self.deadlines.layers
+
+
+def module_matches(module_name: str, prefixes: Sequence[str]) -> Optional[str]:
+    """The first prefix in ``prefixes`` matching ``module_name`` with the
+    same segment-aligned, suffix-tolerant semantics as layer assignment
+    (``repro.util.serde`` matches ``tmpdir.src.repro.util.serde``), or
+    None."""
+    for prefix in prefixes:
+        pattern = re.compile(r"(?:^|\.)" + re.escape(prefix) + r"(?:$|\.)")
+        if pattern.search(module_name):
+            return prefix
+    return None
+
 
 def _as_str_tuple(value: object) -> Tuple[str, ...]:
     if not isinstance(value, (list, tuple)):
@@ -123,6 +184,8 @@ def parse_layer_map(text: str, source: Optional[str] = None) -> LayerMap:
     clock_raw = dict(data.get("clock", {}))
     hot_raw = dict(data.get("hotpath", {}))
     purity_raw = dict(data.get("purity", {}))
+    taint_raw = dict(data.get("taint", {}))
+    deadline_raw = dict(data.get("deadlines", {}))
     return LayerMap(
         layers=layers,
         imports=imports,
@@ -138,6 +201,18 @@ def parse_layer_map(text: str, source: Optional[str] = None) -> LayerMap:
             entries=_as_str_tuple(hot_raw.get("entries", ())),
         ),
         purity=PurityConfig(layers=_as_str_tuple(purity_raw.get("layers", ()))),
+        taint=TaintConfig(
+            sink_modules=_as_str_tuple(taint_raw.get("sink_modules", ())),
+            sink_functions=_as_str_tuple(taint_raw.get("sink_functions", ())),
+            sanitizers=_as_str_tuple(taint_raw.get("sanitizers", ())),
+        ),
+        deadlines=DeadlineConfig(
+            layers=_as_str_tuple(deadline_raw.get("layers", ())),
+            deadline_params=_as_str_tuple(
+                deadline_raw.get("deadline_params", ())
+            ),
+            io_methods=_as_str_tuple(deadline_raw.get("io_methods", ())),
+        ),
         source=source,
     )
 

@@ -1,0 +1,776 @@
+"""Determinism-taint dataflow rule R018.
+
+The repo's guarantee is bit-identical experiment outputs across
+refactors. The syntactic rules (R003 wall-clock in sim code, R010 RNG
+streams) catch *direct* uses of nondeterministic machinery, but a value
+that merely *derives* from one — an elapsed wall-clock delta, an
+environment string, a ``set``'s iteration order — can flow through
+assignments and helper calls into a serialized result undetected. R018
+tracks that flow:
+
+* **Sources** — wall-clock reads (``time.time``/``monotonic``/
+  ``perf_counter``, ``datetime.now`` …), ad-hoc RNG (unseeded
+  ``np.random.default_rng()``, the global ``random``/``np.random``
+  streams, ``uuid.uuid4``, ``os.urandom``), environment reads
+  (``os.environ``/``os.getenv``), ``id()``, and iteration or
+  materialization of a ``set``/``frozenset`` (hash-randomized order).
+* **Propagation** — assignments, arithmetic/boolean/compare/f-string
+  expressions, container displays, attribute/subscript access on
+  tainted values, pass-through builtins (``str``/``float``/…), and
+  calls into project functions via the ``project.py`` call graph
+  (tainted arguments taint the matched parameters; a callee returning a
+  tainted value taints the call result — computed as memoized function
+  summaries).
+* **Sinks** — declared per tree in ``layers.toml`` ``[taint]``:
+  ``sink_modules`` (kernel decisions, serialized results, provenance
+  manifests) and ``sink_functions``. A tainted value passed to a sink
+  call, or returned / stored to an attribute or subscript *inside* a
+  sink module, is a finding.
+* **Sanitizers** — ``sorted()`` plus the callables declared in
+  ``[taint] sanitizers`` (e.g. ``VirtualClock``, ``RngFactory``)
+  produce clean values no matter their inputs, killing taint.
+
+Like the other layer-driven rules the analysis is sound-by-omission: a
+tree with no layer map or no ``[taint]`` section produces no findings,
+unresolvable calls propagate nothing, and only locally-trackable values
+are followed (instance attributes are not modelled).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from tools.reprolint.asyncsafety import _canonical, _terminal
+from tools.reprolint.core import FileContext, Finding, Rule, register
+from tools.reprolint.layers import LayerMap, find_layer_map, module_matches
+from tools.reprolint.project import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectModel,
+    match_call_args,
+)
+
+#: canonical dotted names whose call result is a wall-clock reading
+_WALL_CLOCK_CALLS = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.clock_gettime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today", "time.localtime",
+    "time.gmtime",
+}
+#: canonical dotted names whose call result is ad-hoc (unreplayable) RNG
+_ADHOC_RNG_CALLS = {
+    "numpy.random.rand", "numpy.random.randn", "numpy.random.randint",
+    "numpy.random.random", "numpy.random.random_sample",
+    "numpy.random.choice", "numpy.random.normal", "numpy.random.uniform",
+    "numpy.random.permutation", "numpy.random.shuffle",
+    "uuid.uuid4", "uuid.uuid1", "os.urandom", "secrets.token_bytes",
+    "secrets.token_hex", "secrets.randbelow",
+}
+#: `random.<fn>()` module-level calls draw from the global stream
+_GLOBAL_RANDOM_PREFIX = "random."
+#: seeded-when-given-an-argument constructors: a *bare* call is a source
+_SEEDABLE_CONSTRUCTORS = {
+    "numpy.random.default_rng", "numpy.random.RandomState", "random.Random",
+}
+#: builtins whose result carries the taint of their arguments
+_PASSTHROUGH_BUILTINS = {
+    "str", "repr", "format", "int", "float", "bool", "round", "abs",
+    "min", "max", "sum", "tuple", "list", "dict", "zip", "enumerate",
+    "reversed", "map", "filter", "next", "iter", "divmod", "pow",
+}
+#: builtins that are always-clean no matter the argument
+_BUILTIN_SANITIZERS = {"sorted", "len", "isinstance", "hash", "type", "print"}
+#: set-producing builtins (results have hash-randomized iteration order)
+_SET_CONSTRUCTORS = {"set", "frozenset"}
+#: set methods that return another set (order nondeterminism persists)
+_SET_COMBINATORS = {
+    "union", "intersection", "difference", "symmetric_difference", "copy",
+}
+
+
+@dataclass(frozen=True)
+class Taint:
+    """Where a nondeterministic value came from."""
+
+    kind: str  # "wall-clock read", "environment read", ...
+    site: str  # "path:line" of the originating expression
+
+    def describe(self) -> str:
+        return f"{self.kind} at {self.site}"
+
+
+class _Scope:
+    """Mutable per-scope analysis state."""
+
+    __slots__ = ("env", "sets")
+
+    def __init__(
+        self,
+        env: Optional[Dict[str, Taint]] = None,
+        sets: Optional[Set[str]] = None,
+    ) -> None:
+        #: local name -> taint of its current value
+        self.env: Dict[str, Taint] = dict(env or {})
+        #: local names currently bound to set-valued expressions
+        self.sets: Set[str] = set(sets or ())
+
+
+@register
+class DeterminismTaintRule(Rule):
+    """R018 — no nondeterministic value may flow into a declared sink."""
+
+    rule_id = "R018"
+    summary = "no wall-clock/RNG/env/set-order taint into results or kernel"
+    rationale = (
+        "Bit-identical outputs are the repo's core guarantee. A value "
+        "derived from a wall-clock read, an unseeded RNG, os.environ, "
+        "id(), or set iteration order that reaches a kernel decision, a "
+        "serialized experiment result, or a provenance manifest makes "
+        "outputs differ across runs and hosts in ways no syntactic rule "
+        "can see. Taint is tracked through assignments, expressions, and "
+        "project calls; sorted() and the sanitizers declared in "
+        "layers.toml [taint] kill it."
+    )
+    project_rule = True
+
+    #: hard cap on summary recursion depth (paranoid cycle guard)
+    _MAX_DEPTH = 24
+
+    def check_project(
+        self, ctxs: Sequence[FileContext], project: ProjectModel
+    ) -> Iterator[Finding]:
+        self._project = project
+        self._findings: List[Finding] = []
+        self._emitted: Set[Tuple[str, int, str]] = set()
+        #: (qualname, frozen tainted-param items) -> returns-taint flag
+        self._summaries: Dict[Tuple[str, frozenset], Optional[Taint]] = {}
+        self._in_progress: Set[Tuple[str, frozenset]] = set()
+        #: id(fn.node) -> inferred local types (recomputed at every
+        #: nesting level of _walk otherwise — a hot-path cost)
+        self._local_types: Dict[int, Dict[str, ClassInfo]] = {}
+
+        for ctx in ctxs:
+            module = project.by_path.get(ctx.path)
+            if module is None:  # pragma: no cover - defensive
+                continue
+            layer_map = find_layer_map(ctx.path)
+            if layer_map is None or not layer_map.taint.enabled:
+                continue
+            scope = _Scope()
+            self._walk(
+                ctx.tree.body, scope, ctx, module, layer_map, None, None, 0
+            )
+            for fn, owner in self._functions(module):
+                if not isinstance(
+                    fn.node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                self._walk(
+                    list(fn.node.body), _Scope(), ctx, module, layer_map,
+                    fn, owner, 0,
+                )
+        yield from sorted(self._findings)
+
+    @staticmethod
+    def _functions(
+        module: ModuleInfo,
+    ) -> Iterator[Tuple[FunctionInfo, Optional[ClassInfo]]]:
+        for fn in module.functions.values():
+            yield fn, None
+        for cls_info in module.classes.values():
+            for fn in cls_info.methods.values():
+                yield fn, cls_info
+
+    # ------------------------------------------------------------------
+    # Statement walk
+    # ------------------------------------------------------------------
+
+    def _walk(
+        self,
+        statements: Sequence[ast.stmt],
+        scope: _Scope,
+        ctx: FileContext,
+        module: ModuleInfo,
+        layer_map: LayerMap,
+        fn: Optional[FunctionInfo],
+        owner: Optional[ClassInfo],
+        depth: int,
+    ) -> None:
+        # Return/store findings inside sink modules are reported only at
+        # depth 0 (the module's own analysis): when a summary walk at
+        # depth > 0 carries taint in via a parameter, the *call site*
+        # finding already covers that flow.
+        in_sink = depth == 0 and (
+            self._sink_prefix(module, layer_map) is not None
+        )
+        local_types: Dict[str, ClassInfo] = {}
+        if fn is not None:
+            key = id(fn.node)
+            if key not in self._local_types:
+                self._local_types[key] = self._project.infer_local_types(
+                    fn, owner
+                )
+            local_types = self._local_types[key]
+        for statement in statements:
+            if isinstance(
+                statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue  # separate scope, seeded independently
+            # Inspect every call in the statement for sink flows and
+            # interprocedural propagation.
+            for node in self._own_nodes(statement):
+                if isinstance(node, ast.Call):
+                    self._visit_call(
+                        node, scope, ctx, module, layer_map, local_types,
+                        owner, depth,
+                    )
+            if isinstance(statement, ast.Assign):
+                taint = self._taint_of(statement.value, scope, ctx, module,
+                                       layer_map, local_types, owner, depth)
+                is_set = self._is_set_expr(statement.value, scope)
+                for target in statement.targets:
+                    self._assign(target, taint, is_set, scope)
+                    if in_sink and taint is not None and isinstance(
+                        target, (ast.Attribute, ast.Subscript)
+                    ):
+                        self._emit_store(ctx, statement, taint, module, layer_map)
+            elif isinstance(statement, ast.AnnAssign):
+                if statement.value is not None:
+                    taint = self._taint_of(
+                        statement.value, scope, ctx, module, layer_map,
+                        local_types, owner, depth,
+                    )
+                    is_set = self._is_set_expr(statement.value, scope)
+                    self._assign(statement.target, taint, is_set, scope)
+                    if in_sink and taint is not None and isinstance(
+                        statement.target, (ast.Attribute, ast.Subscript)
+                    ):
+                        self._emit_store(ctx, statement, taint, module, layer_map)
+            elif isinstance(statement, ast.AugAssign):
+                taint = self._taint_of(statement.value, scope, ctx, module,
+                                       layer_map, local_types, owner, depth)
+                if taint is not None:
+                    self._assign(statement.target, taint, False, scope)
+                    if in_sink and isinstance(
+                        statement.target, (ast.Attribute, ast.Subscript)
+                    ):
+                        self._emit_store(ctx, statement, taint, module, layer_map)
+            elif isinstance(statement, ast.Return):
+                if statement.value is not None:
+                    taint = self._taint_of(
+                        statement.value, scope, ctx, module, layer_map,
+                        local_types, owner, depth,
+                    )
+                    if taint is not None:
+                        self._returned = taint
+                        if in_sink:
+                            prefix = self._sink_prefix(module, layer_map)
+                            self._emit(
+                                ctx, statement, taint,
+                                f"value returned from sink module "
+                                f"'{prefix}'",
+                            )
+            elif isinstance(statement, ast.For):
+                iter_taint = self._taint_of(
+                    statement.iter, scope, ctx, module, layer_map,
+                    local_types, owner, depth,
+                )
+                if iter_taint is None and self._is_set_expr(
+                    statement.iter, scope
+                ):
+                    iter_taint = Taint(
+                        "unordered set iteration",
+                        f"{ctx.path}:{statement.iter.lineno}",
+                    )
+                self._assign(statement.target, iter_taint, False, scope)
+                self._walk(statement.body, scope, ctx, module, layer_map,
+                           fn, owner, depth)
+                self._walk(statement.orelse, scope, ctx, module, layer_map,
+                           fn, owner, depth)
+            elif isinstance(statement, (ast.While, ast.If)):
+                self._walk(statement.body, scope, ctx, module, layer_map,
+                           fn, owner, depth)
+                self._walk(statement.orelse, scope, ctx, module, layer_map,
+                           fn, owner, depth)
+            elif isinstance(statement, (ast.With, ast.AsyncWith)):
+                for item in statement.items:
+                    if item.optional_vars is not None and isinstance(
+                        item.optional_vars, ast.Name
+                    ):
+                        taint = self._taint_of(
+                            item.context_expr, scope, ctx, module, layer_map,
+                            local_types, owner, depth,
+                        )
+                        self._assign(item.optional_vars, taint, False, scope)
+                self._walk(statement.body, scope, ctx, module, layer_map,
+                           fn, owner, depth)
+            elif isinstance(statement, ast.Try):
+                self._walk(statement.body, scope, ctx, module, layer_map,
+                           fn, owner, depth)
+                for handler in statement.handlers:
+                    self._walk(handler.body, scope, ctx, module, layer_map,
+                               fn, owner, depth)
+                self._walk(statement.orelse, scope, ctx, module, layer_map,
+                           fn, owner, depth)
+                self._walk(statement.finalbody, scope, ctx, module, layer_map,
+                           fn, owner, depth)
+
+    def _own_nodes(self, statement: ast.stmt) -> Iterator[ast.AST]:
+        """Nodes of ``statement`` excluding nested statement bodies (those
+        are walked recursively) and nested function/class definitions."""
+        compound = (
+            ast.For, ast.While, ast.If, ast.With, ast.AsyncWith, ast.Try,
+        )
+        if isinstance(statement, compound):
+            # Only the header expressions belong to this statement.
+            headers: List[ast.AST] = []
+            if isinstance(statement, ast.For):
+                headers = [statement.iter, statement.target]
+            elif isinstance(statement, (ast.While, ast.If)):
+                headers = [statement.test]
+            elif isinstance(statement, (ast.With, ast.AsyncWith)):
+                headers = [item.context_expr for item in statement.items]
+            for header in headers:
+                yield from ast.walk(header)
+            return
+        for node in ast.walk(statement):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                return
+            yield node
+
+    def _assign(
+        self,
+        target: ast.expr,
+        taint: Optional[Taint],
+        is_set: bool,
+        scope: _Scope,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            if taint is not None:
+                scope.env[target.id] = taint
+            else:
+                scope.env.pop(target.id, None)
+            if is_set:
+                scope.sets.add(target.id)
+            else:
+                scope.sets.discard(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign(element, taint, False, scope)
+
+    # ------------------------------------------------------------------
+    # Expression taint
+    # ------------------------------------------------------------------
+
+    def _taint_of(
+        self,
+        expr: ast.expr,
+        scope: _Scope,
+        ctx: FileContext,
+        module: ModuleInfo,
+        layer_map: LayerMap,
+        local_types: Dict[str, ClassInfo],
+        owner: Optional[ClassInfo],
+        depth: int,
+    ) -> Optional[Taint]:
+        def recur(node: ast.expr) -> Optional[Taint]:
+            return self._taint_of(
+                node, scope, ctx, module, layer_map, local_types, owner, depth
+            )
+
+        if isinstance(expr, ast.Name):
+            return scope.env.get(expr.id)
+        if isinstance(expr, ast.Await):
+            return recur(expr.value)
+        if isinstance(expr, ast.Starred):
+            return recur(expr.value)
+        if isinstance(expr, ast.Attribute):
+            source = self._attribute_source(expr, module, ctx)
+            if source is not None:
+                return source
+            return recur(expr.value)
+        if isinstance(expr, ast.Subscript):
+            source = self._attribute_source(expr.value, module, ctx)
+            if source is not None:  # os.environ["X"]
+                return source
+            return recur(expr.value) or (
+                recur(expr.slice) if isinstance(expr.slice, ast.expr) else None
+            )
+        if isinstance(expr, ast.Call):
+            return self._call_taint(
+                expr, scope, ctx, module, layer_map, local_types, owner, depth
+            )
+        if isinstance(expr, ast.BinOp):
+            return recur(expr.left) or recur(expr.right)
+        if isinstance(expr, ast.UnaryOp):
+            return recur(expr.operand)
+        if isinstance(expr, ast.BoolOp):
+            for value in expr.values:
+                taint = recur(value)
+                if taint is not None:
+                    return taint
+            return None
+        if isinstance(expr, ast.Compare):
+            taint = recur(expr.left)
+            if taint is not None:
+                return taint
+            for comparator in expr.comparators:
+                taint = recur(comparator)
+                if taint is not None:
+                    return taint
+            return None
+        if isinstance(expr, ast.IfExp):
+            return recur(expr.test) or recur(expr.body) or recur(expr.orelse)
+        if isinstance(expr, (ast.List, ast.Tuple, ast.Set)):
+            for element in expr.elts:
+                taint = recur(element)
+                if taint is not None:
+                    return taint
+            return None
+        if isinstance(expr, ast.Dict):
+            for key in expr.keys:
+                if key is not None:
+                    taint = recur(key)
+                    if taint is not None:
+                        return taint
+            for value in expr.values:
+                taint = recur(value)
+                if taint is not None:
+                    return taint
+            return None
+        if isinstance(expr, ast.JoinedStr):
+            for value in expr.values:
+                if isinstance(value, ast.FormattedValue):
+                    taint = recur(value.value)
+                    if taint is not None:
+                        return taint
+            return None
+        if isinstance(expr, ast.FormattedValue):
+            return recur(expr.value)
+        return None
+
+    def _attribute_source(
+        self, expr: ast.expr, module: ModuleInfo, ctx: FileContext
+    ) -> Optional[Taint]:
+        """``os.environ`` (read as attribute or subscript base) is a
+        source even without a call."""
+        if not isinstance(expr, ast.Attribute):
+            return None
+        canonical = _canonical(expr, module)
+        if canonical == "os.environ":
+            return Taint("environment read", f"{ctx.path}:{expr.lineno}")
+        return None
+
+    def _is_set_expr(self, expr: ast.expr, scope: _Scope) -> bool:
+        """True if ``expr`` is statically known to be a set/frozenset."""
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Name):
+            return expr.id in scope.sets
+        if isinstance(expr, ast.Call):
+            terminal = _terminal(expr.func)
+            if terminal in _SET_CONSTRUCTORS:
+                return True
+            if (
+                isinstance(expr.func, ast.Attribute)
+                and expr.func.attr in _SET_COMBINATORS
+                and self._is_set_expr(expr.func.value, scope)
+            ):
+                return True
+        if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            return self._is_set_expr(expr.left, scope) or self._is_set_expr(
+                expr.right, scope
+            )
+        return False
+
+    def _call_taint(
+        self,
+        call: ast.Call,
+        scope: _Scope,
+        ctx: FileContext,
+        module: ModuleInfo,
+        layer_map: LayerMap,
+        local_types: Dict[str, ClassInfo],
+        owner: Optional[ClassInfo],
+        depth: int,
+    ) -> Optional[Taint]:
+        func = call.func
+        terminal = _terminal(func)
+        canonical = _canonical(func, module)
+        site = f"{ctx.path}:{call.lineno}"
+
+        # Sanitizers first: their result is clean whatever went in.
+        if self._is_sanitizer(terminal, canonical, layer_map):
+            return None
+
+        # Direct sources.
+        if canonical is not None:
+            if canonical in _WALL_CLOCK_CALLS:
+                return Taint("wall-clock read", site)
+            if canonical in _ADHOC_RNG_CALLS:
+                return Taint("ad-hoc RNG draw", site)
+            if canonical in _SEEDABLE_CONSTRUCTORS and not (
+                call.args or call.keywords
+            ):
+                return Taint("unseeded RNG construction", site)
+            if canonical.startswith(_GLOBAL_RANDOM_PREFIX) and isinstance(
+                func, (ast.Attribute, ast.Name)
+            ):
+                head = canonical.split(".", 1)[0]
+                if head == "random" and canonical != "random.Random":
+                    return Taint("global random-stream draw", site)
+            if canonical == "os.getenv":
+                return Taint("environment read", site)
+        if isinstance(func, ast.Name) and func.id == "id":
+            return Taint("id() value", site)
+
+        # Materializing a set into an ordered sequence.
+        if (
+            terminal in {"list", "tuple"}
+            and call.args
+            and self._is_set_expr(call.args[0], scope)
+        ):
+            return Taint("unordered set iteration", site)
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "pop"
+            and self._is_set_expr(func.value, scope)
+            and not call.args
+        ):
+            return Taint("unordered set iteration", site)
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "join"
+            and call.args
+            and self._is_set_expr(call.args[0], scope)
+        ):
+            return Taint("unordered set iteration", site)
+
+        # Pass-through builtins and methods on tainted receivers.
+        arg_taint: Optional[Taint] = None
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            node = arg.value if isinstance(arg, ast.Starred) else arg
+            taint = self._taint_of(
+                node, scope, ctx, module, layer_map, local_types, owner, depth
+            )
+            if taint is not None:
+                arg_taint = taint
+                break
+        if terminal in _PASSTHROUGH_BUILTINS and isinstance(func, ast.Name):
+            return arg_taint
+        if isinstance(func, ast.Attribute):
+            receiver_taint = self._taint_of(
+                func.value, scope, ctx, module, layer_map, local_types,
+                owner, depth,
+            )
+            if receiver_taint is not None:
+                return receiver_taint
+
+        # Project calls: consult the callee's summary.
+        callee = self._project.resolve_call(module, call, local_types, owner)
+        if callee is not None and isinstance(
+            callee.node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            tainted_params = self._tainted_params(
+                callee, call, scope, ctx, module, layer_map, local_types,
+                owner, depth,
+            )
+            return self._summary_returns(callee, tainted_params, depth + 1)
+        return None
+
+    def _is_sanitizer(
+        self,
+        terminal: Optional[str],
+        canonical: Optional[str],
+        layer_map: LayerMap,
+    ) -> bool:
+        declared = layer_map.taint.sanitizers
+        if terminal is not None and (
+            terminal in _BUILTIN_SANITIZERS or terminal in declared
+        ):
+            return True
+        return canonical is not None and canonical in declared
+
+    def _tainted_params(
+        self,
+        callee: FunctionInfo,
+        call: ast.Call,
+        scope: _Scope,
+        ctx: FileContext,
+        module: ModuleInfo,
+        layer_map: LayerMap,
+        local_types: Dict[str, ClassInfo],
+        owner: Optional[ClassInfo],
+        depth: int,
+    ) -> Dict[str, Taint]:
+        tainted: Dict[str, Taint] = {}
+        for param, arg in match_call_args(callee, call):
+            taint = self._taint_of(
+                arg, scope, ctx, module, layer_map, local_types, owner, depth
+            )
+            if taint is not None:
+                tainted[param.arg] = taint
+        return tainted
+
+    # ------------------------------------------------------------------
+    # Function summaries (interprocedural propagation)
+    # ------------------------------------------------------------------
+
+    def _summary_returns(
+        self,
+        fn: FunctionInfo,
+        tainted_params: Dict[str, Taint],
+        depth: int,
+    ) -> Optional[Taint]:
+        """Does ``fn`` return a tainted value, given tainted parameters?
+        Analyzing the callee also reports any sink flows inside it."""
+        if depth > self._MAX_DEPTH:
+            return None
+        key = (
+            f"{fn.module.name}.{fn.qualname}",
+            frozenset(
+                (name, taint.kind, taint.site)
+                for name, taint in tainted_params.items()
+            ),
+        )
+        if key in self._summaries:
+            return self._summaries[key]
+        if key in self._in_progress:  # recursion: assume clean (sound-by-
+            return None  # omission, like unresolved calls)
+        self._in_progress.add(key)
+        layer_map = find_layer_map(fn.path)
+        returned: Optional[Taint] = None
+        if layer_map is not None and layer_map.taint.enabled and isinstance(
+            fn.node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            callee_owner = None
+            if fn.is_method:
+                callee_owner = fn.module.classes.get(fn.qualname.split(".")[0])
+            scope = _Scope(env=dict(tainted_params))
+            previous = getattr(self, "_returned", None)
+            self._returned = None
+            self._walk(
+                list(fn.node.body), scope, fn.module.ctx, fn.module,
+                layer_map, fn, callee_owner, depth,
+            )
+            returned = self._returned
+            self._returned = previous
+        self._in_progress.discard(key)
+        self._summaries[key] = returned
+        return returned
+
+    # ------------------------------------------------------------------
+    # Sinks
+    # ------------------------------------------------------------------
+
+    def _sink_prefix(
+        self, module: ModuleInfo, layer_map: LayerMap
+    ) -> Optional[str]:
+        return module_matches(module.name, layer_map.taint.sink_modules)
+
+    def _visit_call(
+        self,
+        call: ast.Call,
+        scope: _Scope,
+        ctx: FileContext,
+        module: ModuleInfo,
+        layer_map: LayerMap,
+        local_types: Dict[str, ClassInfo],
+        owner: Optional[ClassInfo],
+        depth: int,
+    ) -> None:
+        """Report tainted arguments flowing into sink calls, and drive
+        interprocedural propagation for project callees."""
+        callee = self._project.resolve_call(module, call, local_types, owner)
+        sink_name = self._sink_name(call, callee, module, layer_map)
+        tainted_args: List[Tuple[ast.expr, Taint]] = []
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            node = arg.value if isinstance(arg, ast.Starred) else arg
+            taint = self._taint_of(
+                node, scope, ctx, module, layer_map, local_types, owner, depth
+            )
+            if taint is not None:
+                tainted_args.append((node, taint))
+        if sink_name is not None and tainted_args:
+            _, taint = tainted_args[0]
+            self._emit(
+                ctx, call, taint, f"argument to sink '{sink_name}'"
+            )
+        if (
+            callee is not None
+            and tainted_args
+            and isinstance(callee.node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ):
+            tainted_params = self._tainted_params(
+                callee, call, scope, ctx, module, layer_map, local_types,
+                owner, depth,
+            )
+            if tainted_params:
+                # Analyzing for the return value also walks the body and
+                # reports sink flows inside the callee.
+                self._summary_returns(callee, tainted_params, depth + 1)
+
+    def _sink_name(
+        self,
+        call: ast.Call,
+        callee: Optional[FunctionInfo],
+        module: ModuleInfo,
+        layer_map: LayerMap,
+    ) -> Optional[str]:
+        config = layer_map.taint
+        terminal = _terminal(call.func)
+        canonical = _canonical(call.func, module)
+        for declared in config.sink_functions:
+            if declared == terminal or declared == canonical:
+                return declared
+            if canonical is not None and canonical.endswith("." + declared):
+                return declared
+        if callee is not None:
+            prefix = module_matches(callee.module.name, config.sink_modules)
+            if prefix is not None:
+                return f"{callee.qualname}' in sink module '{prefix}"
+        return None
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def _emit(
+        self, ctx: FileContext, node: ast.AST, taint: Taint, flow: str
+    ) -> None:
+        key = (ctx.path, getattr(node, "lineno", 1), taint.kind)
+        if key in self._emitted:
+            return
+        self._emitted.add(key)
+        self._findings.append(
+            self.finding(
+                ctx, node,
+                f"nondeterministic value ({taint.describe()}) flows into "
+                f"{flow}; derive it from the injected clock/RNG, sort the "
+                "iteration, or route it through a declared sanitizer "
+                "(layers.toml [taint])",
+            )
+        )
+
+    def _emit_store(
+        self,
+        ctx: FileContext,
+        statement: ast.stmt,
+        taint: Taint,
+        module: ModuleInfo,
+        layer_map: LayerMap,
+    ) -> None:
+        prefix = self._sink_prefix(module, layer_map)
+        self._emit(
+            ctx, statement, taint,
+            f"state stored in sink module '{prefix}'",
+        )
