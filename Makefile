@@ -1,6 +1,6 @@
 # Convenience targets for the repro repository.
 
-.PHONY: install test coverage lint reprolint reprolint-changed reprolint-sarif bench bench-reprolint experiments experiments-small e20 trace-demo report csv clean
+.PHONY: install test coverage lint reprolint reprolint-changed reprolint-sarif bench bench-reprolint bench-qps experiments experiments-small e20 trace-demo report csv clean
 
 install:
 	pip install -e .
@@ -53,6 +53,13 @@ bench-small:
 # reprolint-bench.json (uploaded as a CI artifact).
 bench-reprolint:
 	python benchmarks/bench_reprolint.py --output reprolint-bench.json
+
+# Engine throughput headline: single vs batched execution, mmap vs
+# in-memory shard backing, per-chunk skipping on/off. Writes
+# BENCH_qps.json (uploaded as a CI artifact) and fails below the
+# batched-speedup floor.
+bench-qps:
+	python benchmarks/bench_qps.py --output BENCH_qps.json
 
 experiments:
 	python -m repro --all --json-dir results/reference --report results/reference_report.md

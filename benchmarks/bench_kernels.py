@@ -58,6 +58,22 @@ def test_chunk_scoring(benchmark, bench_workbench, long_query):
     benchmark(plan.score_chunk, 0)
 
 
+def test_multi_chunk_scoring(benchmark, bench_workbench, long_query):
+    """The batched kernel over every candidate chunk of a long query."""
+    plan = bench_workbench.engine.plan(long_query)
+    positions = list(range(plan.n_candidate_chunks))
+    benchmark(plan.score_chunks, positions)
+
+
+def test_batched_query_throughput(benchmark, bench_workbench):
+    """Queries/sec headline: a query batch through the batched executor."""
+    queries = bench_workbench.query_generator("bench-batch").sample_many(100)
+    executor = bench_workbench.engine.batch_executor(
+        initial_wave=16, max_wave=256
+    )
+    benchmark(executor.execute, queries)
+
+
 @pytest.mark.parametrize("degree", [1, 4, 8])
 def test_query_execution(benchmark, bench_workbench, long_query, degree):
     engine = bench_workbench.engine
@@ -131,5 +147,14 @@ def test_index_save_load(benchmark, bench_workbench, tmp_path_factory):
     from repro.index.io import load_index, save_index
 
     path = tmp_path_factory.mktemp("bench") / "shard.npz"
+    save_index(bench_workbench.index, path, format_version=1)
+    benchmark(load_index, path)
+
+
+def test_index_load_mmap(benchmark, bench_workbench, tmp_path_factory):
+    """O(1) open of a format-v2 shard (memory-mapped columns)."""
+    from repro.index.io import load_index, save_index
+
+    path = tmp_path_factory.mktemp("bench") / "shard_v2"
     save_index(bench_workbench.index, path)
     benchmark(load_index, path)

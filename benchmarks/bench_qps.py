@@ -1,0 +1,205 @@
+#!/usr/bin/env python
+"""Queries-per-second headline benchmark: the hot-path overhaul in one number.
+
+Measures real wall-clock throughput of the engine along the three axes
+the batched hot path changed, and writes ``BENCH_qps.json`` (uploaded as
+a CI artifact per commit):
+
+* **single vs batched** — per-query sequential execution against
+  :meth:`Engine.execute_batch` on the same query stream (identical
+  results; see the bit-identity tests). The headline target is a
+  ``--min-speedup`` ratio (2.0 at default scale) and the process exits 1
+  below it, so a hot-path regression fails CI rather than silently
+  eroding throughput.
+* **mmap vs in-memory** — load time and batched qps over a format-v2
+  shard opened with ``mmap_mode="r"`` versus fully materialized, plus
+  the legacy v1 archive load time for reference. Query throughput should
+  be backing-independent once pages are warm; load time should not be.
+* **skipping on/off** — batched qps and chunk counters with the safe
+  per-chunk score bound disabled versus enabled (score-bound-only
+  termination, where skipping is result-preserving by construction).
+
+Scale: the default workbench is a mid-size shard (30k docs) where
+queries scan enough chunks for wave amortization to matter — set
+``REPRO_SCALE=small`` (as CI does) for a fast smoke at reduced scale
+with a correspondingly reduced speedup floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import tempfile
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import Callable, Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.engine import Engine, EngineConfig, TerminationConfig  # noqa: E402
+from repro.index.io import load_index, save_index  # noqa: E402
+from repro.workloads.workbench import WorkbenchConfig, build_workbench  # noqa: E402
+
+#: (n_docs, vocab_size, n_queries, default min batched/single speedup)
+SCALES = {
+    "default": (30_000, 20_000, 400, 2.0),
+    "small": (8_000, 8_000, 150, 1.2),
+}
+
+
+def _median_time(run: Callable[[], object], repeats: int) -> float:
+    times: List[float] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run()
+        times.append(time.perf_counter() - started)
+    return statistics.median(times)
+
+
+def _qps(n_queries: int, seconds: float) -> float:
+    return n_queries / seconds if seconds > 0 else float("inf")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_qps.json")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=os.environ.get("REPRO_SCALE", "default"),
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail below this batched/single qps ratio (default per scale)",
+    )
+    args = parser.parse_args()
+
+    n_docs, vocab_size, n_queries, default_floor = SCALES[args.scale]
+    min_speedup = args.min_speedup if args.min_speedup is not None else default_floor
+
+    base = WorkbenchConfig.small(seed=0)
+    config = replace(
+        base, corpus=replace(base.corpus, n_docs=n_docs, vocab_size=vocab_size)
+    )
+    print(f"building workbench ({n_docs} docs, {vocab_size} vocab) ...")
+    workbench = build_workbench(config)
+    index = workbench.index
+    queries = workbench.query_generator("bench-qps").sample_many(n_queries)
+
+    results: Dict[str, object] = {
+        "scale": args.scale,
+        "workbench": {
+            "n_docs": index.n_docs,
+            "vocab_size": index.lexicon.vocab_size,
+            "chunk_size": index.chunk_map.chunk_size,
+            "n_chunks": index.n_chunks,
+        },
+        "n_queries": n_queries,
+        "repeats": args.repeats,
+    }
+
+    # --- single vs batched -------------------------------------------------
+    engine = Engine(index)
+    batch = engine.batch_executor(initial_wave=16, max_wave=256)
+    for query in queries[:20]:  # warm caches and code paths
+        engine.execute(query)
+    batch.execute(queries[:20])
+
+    def run_single() -> None:
+        for query in queries:
+            engine.execute(query)
+
+    single_s = _median_time(run_single, args.repeats)
+    batched_s = _median_time(lambda: batch.execute(queries), args.repeats)
+    single_qps = _qps(n_queries, single_s)
+    batched_qps = _qps(n_queries, batched_s)
+    speedup = batched_qps / single_qps
+    results["single_qps"] = round(single_qps, 1)
+    results["batched_qps"] = round(batched_qps, 1)
+    results["batched_speedup"] = round(speedup, 3)
+    print(f"single  {single_qps:9.0f} qps")
+    print(f"batched {batched_qps:9.0f} qps   ({speedup:.2f}x)")
+
+    # --- mmap vs in-memory -------------------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+        v1_path = save_index(index, tmp_path / "shard_v1.npz", format_version=1)
+        v2_path = save_index(index, tmp_path / "shard_v2")
+        load_v1_s = _median_time(lambda: load_index(v1_path), args.repeats)
+        load_mmap_s = _median_time(lambda: load_index(v2_path), args.repeats)
+        load_ram_s = _median_time(
+            lambda: load_index(v2_path, mmap=False), args.repeats
+        )
+        mmap_index = load_index(v2_path)
+        mmap_batch = Engine(mmap_index).batch_executor(
+            initial_wave=16, max_wave=256
+        )
+        mmap_batch.execute(queries[:20])
+        mmap_s = _median_time(lambda: mmap_batch.execute(queries), args.repeats)
+        mmap_qps = _qps(n_queries, mmap_s)
+    results["load_ms"] = {
+        "v1_npz": round(load_v1_s * 1e3, 2),
+        "v2_mmap": round(load_mmap_s * 1e3, 2),
+        "v2_in_memory": round(load_ram_s * 1e3, 2),
+    }
+    results["mmap_qps"] = round(mmap_qps, 1)
+    results["mmap_vs_in_memory"] = round(mmap_qps / batched_qps, 3)
+    print(
+        f"load    v1 {load_v1_s * 1e3:7.1f}ms   v2-mmap {load_mmap_s * 1e3:6.1f}ms"
+        f"   v2-ram {load_ram_s * 1e3:6.1f}ms"
+    )
+    print(f"mmap    {mmap_qps:9.0f} qps   ({mmap_qps / batched_qps:.2f}x of in-memory)")
+
+    # --- skipping on/off ---------------------------------------------------
+    skipping: Dict[str, object] = {}
+    for label, term in (
+        ("off", TerminationConfig(match_budget=None, use_score_bound=True)),
+        (
+            "on",
+            TerminationConfig(
+                match_budget=None, use_score_bound=True, skip_chunks=True
+            ),
+        ),
+    ):
+        skip_engine = Engine(index, EngineConfig(termination=term))
+        skip_batch = skip_engine.batch_executor(initial_wave=16, max_wave=256)
+        skip_batch.execute(queries[:20])
+        seconds = _median_time(lambda: skip_batch.execute(queries), args.repeats)
+        stats = skip_batch.last_stats
+        skipping[label] = {
+            "qps": round(_qps(n_queries, seconds), 1),
+            "chunks_evaluated": stats.chunks_evaluated,
+            "chunks_skipped": stats.chunks_skipped,
+        }
+    off_qps = skipping["off"]["qps"]  # type: ignore[index]
+    on_qps = skipping["on"]["qps"]  # type: ignore[index]
+    skipping["speedup"] = round(on_qps / off_qps, 3)  # type: ignore[operator]
+    results["skipping"] = skipping
+    print(f"skip    off {off_qps:8.0f} qps   on {on_qps:8.0f} qps")
+
+    results["targets"] = {"min_batched_speedup": min_speedup}
+    passed = speedup >= min_speedup
+    results["pass"] = passed
+
+    output = Path(args.output)
+    output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {output}")
+    if not passed:
+        print(
+            f"FAIL: batched speedup {speedup:.2f}x below floor {min_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

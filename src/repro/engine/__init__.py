@@ -8,9 +8,13 @@ Public surface:
 * :class:`Engine` — the facade: ``engine.execute(query, degree=p)``
   runs a query sequentially (``p == 1``) or with intra-query parallelism
   (``p > 1``) in deterministic virtual time, returning an
-  :class:`ExecutionResult` with ranked documents and work accounting.
+  :class:`ExecutionResult` with ranked documents and work accounting;
+* :class:`BatchExecutor` — the throughput path:
+  ``engine.execute_batch(queries)`` runs many queries through the
+  vectorized multi-chunk kernel with bit-identical per-query results.
 """
 
+from repro.engine.batch import BatchExecutor, BatchStats
 from repro.engine.cost import CostModel
 from repro.engine.executor import Engine, EngineConfig
 from repro.engine.query import Query, MatchMode
@@ -19,6 +23,8 @@ from repro.engine.termination import TerminationConfig
 from repro.engine.topk import TopK
 
 __all__ = [
+    "BatchExecutor",
+    "BatchStats",
     "CostModel",
     "Engine",
     "EngineConfig",

@@ -1,0 +1,274 @@
+"""Batched multi-query execution: the throughput hot path.
+
+The per-query executors (:mod:`repro.engine.sequential`,
+:mod:`repro.engine.parallel`) pay numpy dispatch overhead per
+(query, chunk): every chunk is a fresh round of ~O(terms) numpy calls on
+arrays of a few dozen elements, so the interpreter — not the hardware —
+sets the throughput ceiling. :class:`BatchExecutor` removes that ceiling
+along two axes:
+
+* **multi-chunk waves** — each active query nominates a *wave* of
+  upcoming candidate chunks, scored in one call to
+  :meth:`~repro.engine.plan.QueryPlan.score_chunks`, so dispatch cost is
+  amortized over the wave instead of paid per chunk. Waves start small
+  and double per survived wave, so short queries speculate little and
+  long scans quickly reach large, cheap batches;
+* **many queries in flight** — the executor plans the whole batch up
+  front and round-robins waves across active queries, the scheduling
+  shape of a real ISN serving concurrent traffic (and of the
+  real-thread validation mode in :mod:`repro.engine.threads`).
+
+Results are **bit-identical** to ``engine.execute(query, degree=1)`` for
+every query in the batch: the scoring kernel reproduces per-chunk
+arithmetic exactly, and the merge replay applies the termination and
+skip rules chunk-by-chunk in sequential order — chunks scored beyond a
+mid-wave stop are *discarded*, never merged (they are speculative waste,
+tracked in :class:`BatchStats` but invisible in the per-query results,
+exactly like the speculative chunks of the parallel executor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.engine.cost import CostModel
+from repro.engine.plan import QueryPlan
+from repro.engine.query import Query
+from repro.engine.results import ExecutionResult, make_ranked
+from repro.engine.termination import TerminationConfig, TerminationState
+from repro.engine.topk import TopK
+from repro.errors import ExecutionError
+from repro.index.inverted import InvertedIndex
+from repro.ranking.composite import ScoreWeights
+from repro.util.validation import require_int_in_range
+
+
+@dataclass
+class BatchStats:
+    """Work accounting for one :meth:`BatchExecutor.execute` call."""
+
+    queries: int = 0
+    waves: int = 0
+    chunks_evaluated: int = 0
+    chunks_skipped: int = 0
+    #: chunks scored speculatively but discarded because a stop or skip
+    #: decision overtook them mid-wave (wasted compute, zero result skew).
+    chunks_speculative: int = 0
+
+
+class _QueryRun:
+    """Mutable per-query execution state inside a batch.
+
+    Mirrors the sequential executor's loop variables; the invariants that
+    make wave replay exact are documented on :meth:`merge_wave`.
+    """
+
+    __slots__ = (
+        "plan",
+        "cost_model",
+        "topk",
+        "state",
+        "elapsed",
+        "chunks_evaluated",
+        "chunks_skipped",
+        "postings_scanned",
+        "docs_matched",
+        "position",
+        "wave",
+        "done",
+    )
+
+    def __init__(
+        self, plan: QueryPlan, cost_model: CostModel,
+        termination: TerminationConfig, initial_wave: int,
+    ) -> None:
+        self.plan = plan
+        self.cost_model = cost_model
+        self.topk = TopK(plan.query.k)
+        self.state = TerminationState(termination, plan, self.topk)
+        self.elapsed = cost_model.query_fixed_cost
+        self.chunks_evaluated = 0
+        self.chunks_skipped = 0
+        self.postings_scanned = 0
+        self.docs_matched = 0
+        self.position = 0
+        self.wave = initial_wave
+        self.done = False
+
+    def select_wave(self) -> List[int]:
+        """Nominate up to ``wave`` upcoming positions for batched scoring.
+
+        A pure lookahead from the cursor: skippable chunks are passed
+        over, and the scan stops where a termination rule *would* fire
+        right now. Both decisions are monotone in the top-k threshold and
+        in ``matches_seen`` — merging can only confirm them, never revert
+        them — so selection commits nothing (see :meth:`merge_wave`).
+        """
+        selected: List[int] = []
+        position = self.position
+        state = self.state
+        while len(selected) < self.wave and state.would_stop(position) is None:
+            if not state.should_skip(position):
+                selected.append(position)
+            position += 1
+        return selected
+
+    def merge_wave(self, selected: List[int], outcomes: Sequence, stats: BatchStats) -> None:
+        """Replay the scored wave with exact sequential semantics.
+
+        Before merging each scored chunk, the stop and skip rules are
+        re-consulted at every intervening position in order — identical
+        to the sequential executor's control flow. Positions selection
+        passed over re-skip deterministically (thresholds only rise);
+        chunks overtaken by a stop or a newly-valid skip are discarded as
+        speculative waste. The resulting per-query state is therefore
+        bit-identical to having never batched at all.
+        """
+        for target, outcome in zip(selected, outcomes):
+            if self.done:
+                stats.chunks_speculative += 1
+                continue
+            while self.position < target and not self.done:
+                if self.state.should_stop(self.position):
+                    self.done = True
+                elif self.state.should_skip(self.position):
+                    self.elapsed += self.cost_model.skip_time()
+                    self.chunks_skipped += 1
+                    self.position += 1
+                else:  # pragma: no cover - selection invariant violated
+                    raise ExecutionError(
+                        f"batch replay reached unscored position {self.position}"
+                    )
+            if self.done:
+                stats.chunks_speculative += 1
+                continue
+            if self.state.should_stop(target):
+                self.done = True
+                stats.chunks_speculative += 1
+                continue
+            if self.state.should_skip(target):
+                self.elapsed += self.cost_model.skip_time()
+                self.chunks_skipped += 1
+                self.position = target + 1
+                stats.chunks_speculative += 1
+                continue
+            self.elapsed += self.cost_model.chunk_time(outcome)
+            self.chunks_evaluated += 1
+            self.postings_scanned += outcome.postings_scanned
+            self.docs_matched += outcome.n_matched
+            self.topk.offer_many(outcome.scores, outcome.doc_ids)
+            self.state.record_matches(outcome.n_matched)
+            self.position = target + 1
+
+    def finalize_tail(self) -> None:
+        """Drain the cursor to the stop point when no chunk needs scoring
+        (everything remaining is skippable or a rule fires at the front)."""
+        while not self.done:
+            if self.state.should_stop(self.position):
+                self.done = True
+            elif self.state.should_skip(self.position):
+                self.elapsed += self.cost_model.skip_time()
+                self.chunks_skipped += 1
+                self.position += 1
+            else:  # pragma: no cover - selection invariant violated
+                raise ExecutionError(
+                    f"batch finalize reached unscored position {self.position}"
+                )
+
+    def result(self) -> ExecutionResult:
+        self.elapsed += self.cost_model.rerank_time(self.docs_matched)
+        return ExecutionResult(
+            query=self.plan.query,
+            degree=1,
+            results=make_ranked(self.topk.results()),
+            latency=self.elapsed,
+            cpu_time=self.elapsed,
+            chunks_evaluated=self.chunks_evaluated,
+            postings_scanned=self.postings_scanned,
+            docs_matched=self.docs_matched,
+            terminated_early=self.state.terminated_early,
+            termination_rule=self.state.fired_rule,
+            worker_busy=(self.elapsed - self.cost_model.query_fixed_cost,),
+            chunks_skipped=self.chunks_skipped,
+        )
+
+
+class BatchExecutor:
+    """Executes batches of queries through the multi-chunk kernel.
+
+    Stateless between calls except for ``last_stats``; one instance can
+    be shared by concurrent threads (see
+    :func:`repro.engine.threads.execute_threaded_batch`) because all
+    mutable execution state lives in per-call ``_QueryRun`` objects.
+    """
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        weights: Optional[ScoreWeights] = None,
+        cost_model: Optional[CostModel] = None,
+        termination: Optional[TerminationConfig] = None,
+        initial_wave: int = 4,
+        max_wave: int = 64,
+    ) -> None:
+        require_int_in_range(initial_wave, "initial_wave", low=1)
+        require_int_in_range(max_wave, "max_wave", low=initial_wave)
+        self.index = index
+        self.weights = weights or ScoreWeights()
+        self.cost_model = cost_model or CostModel()
+        self.termination = termination or TerminationConfig()
+        self.initial_wave = initial_wave
+        self.max_wave = max_wave
+        self.last_stats = BatchStats()
+
+    def _start(self, query: Query) -> _QueryRun:
+        plan = QueryPlan(query, self.index, self.weights)
+        return _QueryRun(plan, self.cost_model, self.termination, self.initial_wave)
+
+    def _advance(self, run: _QueryRun, stats: BatchStats) -> None:
+        """Run one scheduling step for ``run``: select, score, merge."""
+        selected = run.select_wave()
+        if not selected:
+            run.finalize_tail()
+            return
+        outcomes = run.plan.score_chunks(selected)
+        stats.waves += 1
+        run.merge_wave(selected, outcomes, stats)
+        if not run.done and len(selected) < run.wave:
+            # The lookahead hit a stop rule before filling the wave;
+            # merging only strengthened it, so the tail drains now.
+            run.finalize_tail()
+        run.wave = min(run.wave * 2, self.max_wave)
+
+    def execute(self, queries: Sequence[Query]) -> List[ExecutionResult]:
+        """Execute ``queries`` as one batch, returning per-query results
+        in input order — each bit-identical to sequential execution."""
+        stats = BatchStats(queries=len(queries))
+        runs = [self._start(query) for query in queries]
+        active = [run for run in runs if not run.done]
+        while active:
+            for run in active:
+                self._advance(run, stats)
+            active = [run for run in active if not run.done]
+        results = [run.result() for run in runs]
+        for run in runs:
+            stats.chunks_evaluated += run.chunks_evaluated
+            stats.chunks_skipped += run.chunks_skipped
+        self.last_stats = stats
+        return results
+
+    def execute_one(self, query: Query) -> ExecutionResult:
+        """Execute a single query through the batched kernel (the unit of
+        work the real-thread batch validation mode claims per thread)."""
+        stats = BatchStats(queries=1)
+        run = self._start(query)
+        while not run.done:
+            self._advance(run, stats)
+        return run.result()
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchExecutor(index={self.index!r}, "
+            f"initial_wave={self.initial_wave}, max_wave={self.max_wave})"
+        )

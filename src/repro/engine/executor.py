@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional, Sequence
 
+from repro.engine.batch import BatchExecutor
 from repro.engine.cost import CostModel
 from repro.engine.parallel import execute_parallel
 from repro.engine.plan import QueryPlan
@@ -12,7 +13,7 @@ from repro.engine.query import Query
 from repro.engine.results import ExecutionResult
 from repro.engine.sequential import execute_sequential
 from repro.engine.termination import TerminationConfig
-from repro.engine.threads import execute_threaded
+from repro.engine.threads import execute_threaded, execute_threaded_batch
 from repro.engine.trace import ChunkTrace
 from repro.errors import ExecutionError
 from repro.index.inverted import InvertedIndex
@@ -99,6 +100,38 @@ class Engine:
         return execute_threaded(
             self.trace(query), self.config.termination, degree
         )
+
+    def batch_executor(
+        self, initial_wave: int = 4, max_wave: int = 64
+    ) -> BatchExecutor:
+        """Build a :class:`~repro.engine.batch.BatchExecutor` sharing this
+        engine's index and configuration."""
+        return BatchExecutor(
+            self.index,
+            weights=self.config.weights,
+            cost_model=self.config.cost_model,
+            termination=self.config.termination,
+            initial_wave=initial_wave,
+            max_wave=max_wave,
+        )
+
+    def execute_batch(self, queries: Sequence[Query]) -> List[ExecutionResult]:
+        """Execute many queries through the batched multi-chunk kernel.
+
+        Per-query results are bit-identical to ``execute(query, degree=1)``;
+        throughput is substantially higher because numpy dispatch is
+        amortized over chunk waves (see :mod:`repro.engine.batch`).
+        """
+        return self.batch_executor().execute(queries)
+
+    def execute_threaded_batch(
+        self, queries: Sequence[Query], degree: int
+    ) -> List[ExecutionResult]:
+        """Execute a query batch on ``degree`` real threads (validation
+        mode; inter-query parallelism — see
+        :func:`repro.engine.threads.execute_threaded_batch`)."""
+        self._check_degree(degree)
+        return execute_threaded_batch(self.batch_executor(), queries, degree)
 
     def __repr__(self) -> str:
         return f"Engine(index={self.index!r}, max_degree={self.config.max_degree})"

@@ -66,6 +66,7 @@ def execute_parallel(
     next_position = 0
     parallel_makespan = 0.0
     chunks_evaluated = 0
+    chunks_skipped = 0
     postings_scanned = 0
     docs_matched = 0
     spans: Optional[List[ChunkSpan]] = [] if collect_spans else None
@@ -87,6 +88,17 @@ def execute_parallel(
             state.record_matches(outcome.n_matched)
             busy[worker] += merge_cost
             now += merge_cost
+        # Advance the shared cursor past individually skippable chunks
+        # (safe per-chunk score bound); the claiming worker pays the
+        # metadata-compare cost, 0 under the default model.
+        while not state.should_stop(next_position) and state.should_skip(
+            next_position
+        ):
+            next_position += 1
+            chunks_skipped += 1
+            skip_cost = cost_model.skip_time()
+            busy[worker] += skip_cost
+            now += skip_cost
         if not state.should_stop(next_position):
             position = next_position
             next_position += 1
@@ -121,6 +133,7 @@ def execute_parallel(
         terminated_early=state.terminated_early,
         termination_rule=state.fired_rule,
         worker_busy=tuple(busy),
+        chunks_skipped=chunks_skipped,
         chunk_spans=tuple(spans) if spans is not None else None,
         termination_s=(
             termination_s if spans is not None and state.terminated_early else None

@@ -13,14 +13,23 @@ everything both the sequential and the parallel executor need:
   chunks. Bounds combine per-term per-chunk max impacts (suffix maxima)
   with the static-rank prior at the chunk boundary, which is
   non-increasing in doc id by index construction;
-* the per-chunk scorer used to produce :class:`ChunkOutcome` values.
+* **per-chunk score bounds** — for each individual candidate chunk, an
+  upper bound on the composite score of any document *inside that one
+  chunk* (per-term maxima summed, no suffix max). Unlike the suffix
+  bounds these are not monotone, which is exactly why they are useful:
+  a weak chunk sitting before a strong one can be skipped on its own
+  without stopping the scan (see ``TerminationState.should_skip``);
+* the per-chunk scorer used to produce :class:`ChunkOutcome` values,
+  plus a batched multi-chunk kernel (:meth:`QueryPlan.score_chunks`)
+  that evaluates many candidate chunks in one set of numpy dispatches
+  and is bit-identical to scoring each chunk on its own.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import reduce
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -46,6 +55,17 @@ class ChunkOutcome:
         return self.n_matched == 0
 
 
+def _take_ranges(values: np.ndarray, starts: np.ndarray, sizes: np.ndarray) -> np.ndarray:
+    """Gather ``values[starts[i] : starts[i] + sizes[i]]`` for all ``i``,
+    concatenated, in one vectorized fancy-index (no per-range Python loop)."""
+    offsets = np.empty(sizes.shape[0] + 1, dtype=np.int64)
+    offsets[0] = 0
+    np.cumsum(sizes, out=offsets[1:])
+    total = int(offsets[-1])
+    indices = np.arange(total, dtype=np.int64) + np.repeat(starts - offsets[:-1], sizes)
+    return values[indices]
+
+
 class QueryPlan:
     """Planned execution state for one query over one index."""
 
@@ -68,7 +88,11 @@ class QueryPlan:
             self.posting_lists = found
 
         self.candidate_chunks = self._candidate_chunks()
-        self.bounds_from = self._suffix_bounds()
+        self.chunk_bounds: np.ndarray
+        self.bounds_from = self._suffix_bounds()  # also sets chunk_bounds
+        # Per-(term, position) posting-slice table, built lazily by the
+        # first score_chunks call; per-chunk execution never pays for it.
+        self._slice_table: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     # ------------------------------------------------------------------
     # Planning
@@ -84,14 +108,24 @@ class QueryPlan:
         return int(self.candidate_chunks.shape[0])
 
     def _candidate_chunks(self) -> np.ndarray:
-        """Chunks that can contain a match, in document order."""
+        """Chunks that can contain a match, in document order.
+
+        ``PostingList.chunk_ids`` arrays are sorted-unique by
+        construction (``np.nonzero`` output over chunk sizes), so the
+        intersection runs with ``assume_unique=True`` — skipping the
+        per-operand ``np.unique`` sort — and the union is one
+        ``np.unique`` over the concatenation instead of a pairwise
+        reduce.
+        """
         if not self.posting_lists:
             return np.empty(0, dtype=np.int64)
         chunk_sets = [plist.chunk_ids for plist in self.posting_lists]
         if self.query.mode is MatchMode.ALL:
-            combined = reduce(np.intersect1d, chunk_sets)
+            combined = reduce(
+                lambda a, b: np.intersect1d(a, b, assume_unique=True), chunk_sets
+            )
         else:
-            combined = reduce(np.union1d, chunk_sets)
+            combined = np.unique(np.concatenate(chunk_sets))
         return combined.astype(np.int64)
 
     def _suffix_bounds(self) -> np.ndarray:
@@ -101,8 +135,10 @@ class QueryPlan:
         n = self.n_candidate_chunks
         bounds = np.full(n + 1, -np.inf, dtype=np.float64)
         if n == 0:
+            self.chunk_bounds = np.empty(0, dtype=np.float64)
             return bounds
         relevance = np.zeros(n, dtype=np.float64)
+        chunk_relevance = np.zeros(n, dtype=np.float64)
         # Shared all-zeros row for terms with no chunks at all (ANY mode
         # only); read-only below, so one allocation serves every term.
         absent = np.zeros(n, dtype=np.float64)
@@ -120,10 +156,18 @@ class QueryPlan:
             # any remaining doc scores at most the sum of the remaining
             # per-term maxima.
             relevance += np.maximum.accumulate(per_chunk[::-1])[::-1]
+            # Per-chunk sum (no suffix max): the best any doc *inside*
+            # candidate chunk i can score from this term.
+            chunk_relevance += per_chunk
         chunk_starts = self.index.chunk_map.bounds[self.candidate_chunks]
         prior = self.index.static_ranks[chunk_starts]
         bounds[:n] = (
             self.weights.relevance_weight * relevance
+            + self.weights.static_weight * prior
+        )
+        # Individual-chunk upper bounds, used by safe per-chunk skipping.
+        self.chunk_bounds = (
+            self.weights.relevance_weight * chunk_relevance
             + self.weights.static_weight * prior
         )
         return bounds
@@ -135,6 +179,20 @@ class QueryPlan:
                 f"position {position} outside [0, {self.n_candidate_chunks}]"
             )
         return float(self.bounds_from[position])
+
+    def chunk_bound(self, position: int) -> float:
+        """Upper bound on scores *inside* the candidate chunk at ``position``.
+
+        Tighter than :meth:`bound_from_position` for one chunk because no
+        suffix maximum is taken; a chunk whose bound cannot beat the
+        current top-k threshold can be skipped individually even when
+        later chunks remain promising.
+        """
+        if not 0 <= position < self.n_candidate_chunks:
+            raise ExecutionError(
+                f"position {position} outside [0, {self.n_candidate_chunks})"
+            )
+        return float(self.chunk_bounds[position])
 
     # ------------------------------------------------------------------
     # Chunk evaluation
@@ -168,6 +226,186 @@ class QueryPlan:
             postings_scanned=postings_scanned,
             n_matched=int(doc_ids.shape[0]),
         )
+
+    def score_chunks(self, positions: Sequence[int]) -> List[ChunkOutcome]:
+        """Evaluate several candidate chunks in one batch of numpy calls.
+
+        ``positions`` must be strictly ascending plan positions. Returns
+        one :class:`ChunkOutcome` per position, **bit-identical** to
+        ``[self.score_chunk(p) for p in positions]``: the matched doc-id
+        sets are recovered exactly (chunks partition the doc space, so
+        intersecting/accumulating the concatenated slices equals doing so
+        chunk by chunk), and relevance is accumulated per document in the
+        same term order and left-to-right grouping the per-chunk scorer
+        uses, so the float64 sums agree to the last bit.
+
+        The point is dispatch amortization: the per-chunk scorer pays
+        ~O(terms) numpy calls on tiny arrays *per chunk*; this kernel
+        pays one set of numpy calls on arrays the size of the whole
+        batch, which is what makes the batched executor several-fold
+        faster than per-chunk execution (see :mod:`repro.engine.batch`).
+        """
+        pos = np.asarray(positions, dtype=np.int64)
+        n_sel = int(pos.shape[0])
+        if n_sel == 0:
+            return []
+        if n_sel == 1:
+            return [self.score_chunk(int(pos[0]))]
+        if (
+            int(pos[0]) < 0
+            or int(pos[-1]) >= self.n_candidate_chunks
+            or bool(np.any(pos[:-1] >= pos[1:]))
+        ):
+            raise ExecutionError(
+                f"positions must be strictly ascending within "
+                f"[0, {self.n_candidate_chunks}), got {pos.tolist()}"
+            )
+
+        chunk_ids = self.candidate_chunks[pos]
+        table_starts, table_sizes = self._chunk_slices()
+        starts = table_starts[:, pos]
+        sizes = table_sizes[:, pos]
+        postings_scanned = sizes.sum(axis=0)
+
+        doc_starts = self.index.chunk_map.bounds[chunk_ids]
+        doc_ends = self.index.chunk_map.bounds[chunk_ids + 1]
+        if self.query.mode is MatchMode.ALL:
+            doc_ids, relevance = self._intersect_many(starts, sizes, doc_starts)
+        else:
+            doc_ids, relevance = self._accumulate_many(
+                starts, sizes, doc_starts, doc_ends
+            )
+
+        if doc_ids.shape[0]:
+            scores = (
+                self.weights.relevance_weight * relevance
+                + self.weights.static_weight * self.index.static_ranks[doc_ids]
+            )
+        else:
+            scores = np.empty(0, dtype=np.float64)
+
+        # Split the batch-wide match arrays back into per-chunk outcomes:
+        # matched ids are ascending, chunks are disjoint doc-id ranges.
+        cuts_lo = np.searchsorted(doc_ids, doc_starts)
+        cuts_hi = np.searchsorted(doc_ids, doc_ends)
+        outcomes = []
+        for i in range(n_sel):
+            lo = int(cuts_lo[i])
+            hi = int(cuts_hi[i])
+            outcomes.append(
+                ChunkOutcome(
+                    chunk_id=int(chunk_ids[i]),
+                    doc_ids=doc_ids[lo:hi],
+                    scores=scores[lo:hi],
+                    postings_scanned=int(postings_scanned[i]),
+                    n_matched=hi - lo,
+                )
+            )
+        return outcomes
+
+    def _chunk_slices(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-(term, plan position) posting-slice starts and sizes.
+
+        Row ``t``, column ``i`` locates term ``t``'s postings for the
+        candidate chunk at position ``i`` (0-length when the term misses
+        the chunk — possible in ANY mode only). Built once per plan, on
+        the first batched call; every wave then selects its columns with
+        one fancy index instead of per-term binary searches.
+        """
+        cached = self._slice_table
+        if cached is not None:
+            return cached
+        n = self.n_candidate_chunks
+        n_terms = len(self.posting_lists)
+        starts = np.zeros((n_terms, n), dtype=np.int64)
+        sizes = np.zeros((n_terms, n), dtype=np.int64)
+        for t, plist in enumerate(self.posting_lists):
+            if plist.chunk_ids.shape[0] == 0:
+                continue
+            idx = np.searchsorted(plist.chunk_ids, self.candidate_chunks)
+            idx_clipped = np.minimum(idx, plist.chunk_ids.shape[0] - 1)
+            present = plist.chunk_ids[idx_clipped] == self.candidate_chunks
+            offsets = plist.chunk_offsets[idx_clipped]
+            starts[t] = np.where(present, offsets[:, 0], 0)
+            sizes[t] = np.where(present, offsets[:, 1] - offsets[:, 0], 0)
+        self._slice_table = (starts, sizes)
+        return starts, sizes
+
+    def _intersect_many(
+        self, starts: np.ndarray, sizes: np.ndarray, doc_starts: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched conjunctive match over the selected chunks.
+
+        The matched doc-id *set* is order-independent, so membership is
+        narrowed starting from the term with the fewest gathered
+        postings. Relevance is then re-accumulated per document in each
+        chunk's own slice-length term order (stable ascending — exactly
+        ``_intersect``'s ordering) as a left-to-right fold, which makes
+        the float64 sums bit-identical to per-chunk scoring.
+        """
+        totals = sizes.sum(axis=1)
+        order = np.argsort(totals, kind="stable")
+        base = int(order[0])
+        base_plist = self.posting_lists[base]
+        doc_ids = _take_ranges(base_plist.doc_ids, starts[base], sizes[base])
+        for t in order[1:].tolist():
+            if doc_ids.shape[0] == 0:
+                break
+            other_ids = self.posting_lists[t].doc_ids
+            if other_ids.shape[0] == 0:
+                return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+            at = np.searchsorted(other_ids, doc_ids)
+            at_clipped = np.minimum(at, other_ids.shape[0] - 1)
+            doc_ids = doc_ids[other_ids[at_clipped] == doc_ids]
+        if doc_ids.shape[0] == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+
+        # impacts[t, d]: impact of term t for matched doc d (every term
+        # matches every doc in ALL mode).
+        n_docs = doc_ids.shape[0]
+        impacts = np.empty((len(self.posting_lists), n_docs), dtype=np.float64)
+        for t, plist in enumerate(self.posting_lists):
+            at = np.searchsorted(plist.doc_ids, doc_ids)
+            impacts[t] = plist.impacts[at]
+        # Each doc folds its terms in its own chunk's slice-length order.
+        term_order = np.argsort(sizes, axis=0, kind="stable")
+        row = np.searchsorted(doc_starts, doc_ids, side="right") - 1
+        ordered = term_order[:, row]
+        columns = np.arange(n_docs)
+        relevance = impacts[ordered[0], columns]
+        for j in range(1, len(self.posting_lists)):
+            relevance += impacts[ordered[j], columns]
+        return doc_ids, relevance
+
+    def _accumulate_many(
+        self,
+        starts: np.ndarray,
+        sizes: np.ndarray,
+        doc_starts: np.ndarray,
+        doc_ends: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched disjunctive match: one dense accumulator covering the
+        selected chunks' concatenated doc ranges, filled per term in
+        posting-list order — the same per-document addition order as the
+        per-chunk accumulator, hence bit-identical sums."""
+        lengths = doc_ends - doc_starts
+        acc_offsets = np.empty(lengths.shape[0] + 1, dtype=np.int64)
+        acc_offsets[0] = 0
+        np.cumsum(lengths, out=acc_offsets[1:])
+        accumulator = np.zeros(int(acc_offsets[-1]), dtype=np.float64)
+        n_sel = doc_starts.shape[0]
+        for t, plist in enumerate(self.posting_lists):
+            ids_t = _take_ranges(plist.doc_ids, starts[t], sizes[t])
+            if ids_t.shape[0] == 0:
+                continue
+            impacts_t = _take_ranges(plist.impacts, starts[t], sizes[t])
+            rows_t = np.repeat(np.arange(n_sel), sizes[t])
+            local = ids_t - doc_starts[rows_t] + acc_offsets[rows_t]
+            accumulator[local] += impacts_t
+        local_nz = np.nonzero(accumulator > 0.0)[0]
+        row = np.searchsorted(acc_offsets, local_nz, side="right") - 1
+        doc_ids = (local_nz - acc_offsets[row] + doc_starts[row]).astype(np.int64)
+        return doc_ids, accumulator[local_nz]
 
     @staticmethod
     def _intersect(

@@ -53,6 +53,8 @@ class ExecutionResult:
     Work counters:
 
     * ``chunks_evaluated`` — candidate chunks actually scored;
+    * ``chunks_skipped`` — candidate chunks bypassed by the safe
+      per-chunk score-bound skip (no postings touched);
     * ``postings_scanned`` / ``docs_matched`` — low-level work units;
     * ``terminated_early`` / ``termination_rule`` — why execution stopped;
     * ``worker_busy`` — per-worker busy time (parallel only), whose spread
@@ -77,6 +79,7 @@ class ExecutionResult:
     terminated_early: bool
     termination_rule: Optional[str]
     worker_busy: Tuple[float, ...] = field(default_factory=tuple)
+    chunks_skipped: int = 0
     chunk_spans: Optional[Tuple[ChunkSpan, ...]] = None
     termination_s: Optional[float] = None
 

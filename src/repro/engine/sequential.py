@@ -29,11 +29,20 @@ def execute_sequential(
 
     elapsed = cost_model.query_fixed_cost
     chunks_evaluated = 0
+    chunks_skipped = 0
     postings_scanned = 0
     docs_matched = 0
 
     position = 0
     while not state.should_stop(position):
+        if state.should_skip(position):
+            # Safe per-chunk skip: the chunk's own bound cannot beat the
+            # current threshold, so it is bypassed without touching its
+            # postings — the scan continues at the next candidate.
+            elapsed += cost_model.skip_time()
+            chunks_skipped += 1
+            position += 1
+            continue
         outcome, cost = trace.get(position)
         elapsed += cost
         chunks_evaluated += 1
@@ -57,4 +66,5 @@ def execute_sequential(
         terminated_early=state.terminated_early,
         termination_rule=state.fired_rule,
         worker_busy=(elapsed - cost_model.query_fixed_cost,),
+        chunks_skipped=chunks_skipped,
     )

@@ -1,8 +1,8 @@
-"""Early-termination rules.
+"""Early-termination and chunk-skipping rules.
 
 An ISN evaluates documents in static-rank order, so it can stop long
-before exhausting the index. Two rules are implemented; both may be
-active at once and the executor stops at the first that fires:
+before exhausting the index. Two *stop* rules are implemented; both may
+be active at once and the executor stops at the first that fires:
 
 * **Match budget** (production-style, approximate): stop once at least
   ``match_budget`` matching documents have been evaluated. Because
@@ -16,14 +16,24 @@ active at once and the executor stops at the first that fires:
   rule alone, early-terminated results are bit-identical to exhaustive
   evaluation.
 
+Orthogonally, **per-chunk skipping** (``skip_chunks``, safe) skips an
+*individual* candidate chunk whose own score bound cannot beat the
+current k-th score and keeps scanning — the suffix rule can only cut
+the tail of the scan, skipping also removes weak chunks in the middle.
+Skipping never changes the top-k: the skipped chunk provably contains
+no admissible document (a tie at the threshold loses because every doc
+in an unmerged chunk has a higher doc id than everything in the heap).
+
 Setting ``match_budget=None`` disables the approximate rule (used by the
-equivalence tests); ``use_score_bound=False`` disables the safe rule.
+equivalence tests); ``use_score_bound=False`` disables the safe stop
+rule. All-rules-off is a legitimate configuration — the exhaustive
+reference mode equivalence tests execute against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 from repro.engine.plan import QueryPlan
 from repro.engine.topk import TopK
@@ -32,17 +42,36 @@ from repro.util.validation import require, require_int_in_range
 
 @dataclass(frozen=True)
 class TerminationConfig:
-    """Which termination rules are active, and their parameters."""
+    """Which termination/skipping rules are active, and their parameters."""
 
     match_budget: Optional[int] = 256
     use_score_bound: bool = True
+    skip_chunks: bool = False
 
     def __post_init__(self) -> None:
         if self.match_budget is not None:
             require_int_in_range(self.match_budget, "match_budget", low=1)
+        # The real invariant is on field domains, not on rule presence:
+        # disabling every rule is valid (exhaustive reference mode), but
+        # the flags must be actual booleans — a stray positional int
+        # (e.g. a budget landing in use_score_bound) would silently
+        # enable rules with a truthy garbage value.
         require(
-            self.match_budget is not None or self.use_score_bound or True,
-            "at least one rule should usually be enabled",
+            isinstance(self.use_score_bound, bool),
+            f"use_score_bound must be a bool, got {self.use_score_bound!r}",
+        )
+        require(
+            isinstance(self.skip_chunks, bool),
+            f"skip_chunks must be a bool, got {self.skip_chunks!r}",
+        )
+
+    @property
+    def is_exhaustive(self) -> bool:
+        """True when no rule can reduce work: every chunk gets evaluated."""
+        return (
+            self.match_budget is None
+            and not self.use_score_bound
+            and not self.skip_chunks
         )
 
 
@@ -60,29 +89,66 @@ class TerminationState:
         self.topk = topk
         self.matches_seen = 0
         self.fired_rule: Optional[str] = None
+        # Bound arrays mirrored as plain float lists, built lazily: the
+        # rules probe one scalar per position (twice per position on the
+        # batch path — lookahead then replay), and list indexing avoids
+        # the numpy scalar-extraction cost on every probe. ``tolist()``
+        # preserves the exact float64 values, so decisions are identical.
+        self._suffix_bounds: Optional[List[float]] = None
+        self._chunk_bounds: Optional[List[float]] = None
 
     def record_matches(self, n_matched: int) -> None:
         self.matches_seen += int(n_matched)
+
+    def would_stop(self, next_position: int) -> Optional[str]:
+        """The rule that would fire before evaluating ``next_position``,
+        or None — **pure**: no state is recorded. The batch executor's
+        wave lookahead probes stop rules ahead of the merge replay and
+        must not commit ``fired_rule`` early (an intermediate merge can
+        change *which* rule fires first at a position)."""
+        if next_position >= self.plan.n_candidate_chunks:
+            return "exhausted"
+        budget = self.config.match_budget
+        if budget is not None and self.matches_seen >= max(budget, self.topk.k):
+            return "match_budget"
+        if self.config.use_score_bound and self.topk.full:
+            bounds = self._suffix_bounds
+            if bounds is None:
+                bounds = self._suffix_bounds = self.plan.bounds_from.tolist()
+            # Remaining docs all have higher ids than any doc already in
+            # the heap, so a tie at the threshold would lose anyway:
+            # stopping at bound <= threshold is safe.
+            if bounds[next_position] <= self.topk.threshold:
+                return "score_bound"
+        return None
 
     def should_stop(self, next_position: int) -> bool:
         """True if execution may stop before evaluating ``next_position``."""
         if self.fired_rule is not None:
             return True
-        if next_position >= self.plan.n_candidate_chunks:
-            self.fired_rule = "exhausted"
+        rule = self.would_stop(next_position)
+        if rule is not None:
+            self.fired_rule = rule
             return True
-        budget = self.config.match_budget
-        if budget is not None and self.matches_seen >= max(budget, self.topk.k):
-            self.fired_rule = "match_budget"
-            return True
-        if self.config.use_score_bound and self.topk.full:
-            # Remaining docs all have higher ids than any doc already in
-            # the heap, so a tie at the threshold would lose anyway:
-            # stopping at bound <= threshold is safe.
-            if self.plan.bound_from_position(next_position) <= self.topk.threshold:
-                self.fired_rule = "score_bound"
-                return True
         return False
+
+    def should_skip(self, position: int) -> bool:
+        """True if the candidate chunk at ``position`` may be skipped.
+
+        Safe by the same argument as the score-bound stop rule, applied
+        to one chunk: once the heap is full, a chunk whose individual
+        upper bound is at or below the threshold contains no document
+        that could enter the top-k (ties lose — any doc in a chunk at or
+        past the claim cursor has a higher doc id than every doc already
+        merged). Thresholds only rise, so a skip decision never needs
+        revisiting.
+        """
+        if not (self.config.skip_chunks and self.topk.full):
+            return False
+        bounds = self._chunk_bounds
+        if bounds is None:
+            bounds = self._chunk_bounds = self.plan.chunk_bounds.tolist()
+        return bounds[position] <= self.topk.threshold
 
     @property
     def terminated_early(self) -> bool:

@@ -22,6 +22,10 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Sequence
+
+from repro.engine.batch import BatchExecutor
+from repro.engine.query import Query
 from repro.engine.results import ExecutionResult, make_ranked
 from repro.engine.termination import TerminationConfig, TerminationState
 from repro.engine.topk import TopK
@@ -39,12 +43,20 @@ class _SharedState:
         self.state = TerminationState(termination, trace.plan, self.topk)
         self.next_position = 0
         self.chunks_evaluated = 0
+        self.chunks_skipped = 0
         self.postings_scanned = 0
         self.docs_matched = 0
 
     def claim(self) -> int:
         """Claim the next chunk position, or -1 when execution should stop."""
         with self.lock:
+            # Advance past individually skippable chunks (safe per-chunk
+            # score bound) before handing out work.
+            while not self.state.should_stop(
+                self.next_position
+            ) and self.state.should_skip(self.next_position):
+                self.next_position += 1
+                self.chunks_skipped += 1
             if self.state.should_stop(self.next_position):
                 return -1
             position = self.next_position
@@ -100,4 +112,50 @@ def execute_threaded(
         terminated_early=shared.state.terminated_early,
         termination_rule=shared.state.fired_rule,
         worker_busy=(),
+        chunks_skipped=shared.chunks_skipped,
     )
+
+
+def execute_threaded_batch(
+    executor: BatchExecutor, queries: Sequence[Query], degree: int
+) -> List[ExecutionResult]:
+    """Run a batch of queries on ``degree`` real threads.
+
+    Inter-query parallelism counterpart to :func:`execute_threaded`:
+    each thread claims whole queries from a shared cursor and runs them
+    through the batched kernel (:meth:`BatchExecutor.execute_one`), the
+    concurrency shape of an ISN draining a request queue. Per-query
+    results are fully independent, so — unlike the intra-query threaded
+    mode — results are bit-identical to sequential execution for *any*
+    termination configuration. Returned in input order.
+    """
+    if not isinstance(degree, int) or isinstance(degree, bool) or degree < 1:
+        raise ExecutionError(f"degree must be a positive integer, got {degree!r}")
+
+    results: List[Optional[ExecutionResult]] = [None] * len(queries)
+    cursor = {"next": 0}
+    lock = threading.Lock()
+
+    def worker() -> None:
+        while True:
+            with lock:
+                slot = cursor["next"]
+                if slot >= len(queries):
+                    return
+                cursor["next"] = slot + 1
+            # Query execution happens outside the lock; only the claim
+            # cursor synchronizes (results slots are disjoint per claim).
+            results[slot] = executor.execute_one(queries[slot])
+
+    if degree == 1:
+        worker()
+    else:
+        with ThreadPoolExecutor(max_workers=degree) as pool:
+            futures = [pool.submit(worker) for _ in range(degree)]
+            for future in futures:
+                future.result()
+
+    missing = [i for i, result in enumerate(results) if result is None]
+    if missing:  # pragma: no cover - claim protocol invariant violated
+        raise ExecutionError(f"queries {missing} were never executed")
+    return [result for result in results if result is not None]

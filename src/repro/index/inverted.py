@@ -59,7 +59,9 @@ class InvertedIndex:
 
     @property
     def n_postings(self) -> int:
-        return int(sum(self.lexicon.postings(t).doc_frequency for t in self.lexicon))
+        # doc_frequency, not postings(): a lazy lexicon answers it from
+        # its offsets without materializing every posting list.
+        return int(sum(self.lexicon.doc_frequency(t) for t in self.lexicon))
 
     def postings_for(self, term_ids: List[int]) -> List[PostingList]:
         """Posting lists for the query terms that exist in the index."""

@@ -1,108 +1,237 @@
-"""Index persistence: save/load a built shard as a compressed .npz.
+"""Index persistence: compressed v1 archives and memory-mappable v2 shards.
 
 Production ISNs memory-map prebuilt shards rather than re-inverting the
 corpus on every start; this module provides the equivalent for the
 reproduction (and lets experiments share one build across processes).
-The on-disk layout is columnar: one flat array per posting-list field,
-with per-term offsets — exactly the in-memory layout, so loads are
-O(number of terms) object constructions over zero-copy array slices.
+Both formats store the same columnar layout — one flat array per
+posting-list field, with per-term offsets — so a load constructs a
+:class:`~repro.index.lexicon.LazyLexicon` over the columns in O(1) and
+posting lists materialize as zero-copy slices on first touch.
+
+Two container formats:
+
+* **v1** — a single compressed ``.npz`` archive. Compact and
+  self-contained, but ``np.load`` cannot memory-map members of a zip
+  archive, so the whole shard decompresses into RAM up front.
+* **v2** (default) — a *directory* of uncompressed ``.npy`` files plus a
+  ``meta.json`` manifest. Each column loads with ``mmap_mode="r"``, so
+  opening a shard is O(1) regardless of size, only the pages queries
+  actually touch become resident, and shards larger than RAM serve fine
+  — the production-shaped fast path the batched executor benchmarks
+  against.
+
+``load_index`` dispatches on what it finds at the path (directory → v2,
+file → v1), so callers never need to know which format wrote a shard.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
-from typing import Union
+from typing import Dict, Union
 
 import numpy as np
 
 from repro.errors import IndexError_
 from repro.index.chunks import ChunkMap
 from repro.index.inverted import InvertedIndex
-from repro.index.lexicon import Lexicon
-from repro.index.postings import PostingList
+from repro.index.lexicon import LazyLexicon, Lexicon
 from repro.ranking.bm25 import BM25Params
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
+
+META_FILE = "meta.json"
+#: Columnar arrays common to both formats (v2 stores one .npy file each).
+ARRAY_NAMES = (
+    "doc_lengths",
+    "static_ranks",
+    "term_ids",
+    "term_offsets",
+    "posting_doc_ids",
+    "posting_freqs",
+    "posting_impacts",
+)
 
 
-def save_index(index: InvertedIndex, path: Union[str, Path]) -> Path:
-    """Serialize ``index`` to ``path`` (.npz, compressed)."""
+def _columnar_arrays(index: InvertedIndex) -> Dict[str, np.ndarray]:
+    """Flatten the index's posting lists into the columnar layout."""
+    lexicon = index.lexicon
+    if isinstance(lexicon, LazyLexicon):
+        # Already columnar — reuse the backing arrays verbatim instead of
+        # re-concatenating (loaded shards round-trip without copying).
+        columns = dict(lexicon.columns())
+    else:
+        term_ids = np.asarray(sorted(lexicon), dtype=np.int64)
+        plists = [lexicon.postings(int(t)) for t in term_ids]
+        lengths = np.asarray([p.doc_frequency for p in plists], dtype=np.int64)
+        offsets = np.zeros(term_ids.shape[0] + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        if plists:
+            doc_ids = np.concatenate([p.doc_ids for p in plists])
+            freqs = np.concatenate([p.freqs for p in plists])
+            impacts = np.concatenate([p.impacts for p in plists])
+        else:
+            doc_ids = np.empty(0, dtype=np.int64)
+            freqs = np.empty(0, dtype=np.int64)
+            impacts = np.empty(0, dtype=np.float64)
+        columns = {
+            "term_ids": term_ids,
+            "term_offsets": offsets,
+            "posting_doc_ids": doc_ids,
+            "posting_freqs": freqs,
+            "posting_impacts": impacts,
+        }
+    columns["doc_lengths"] = index.doc_lengths
+    columns["static_ranks"] = index.static_ranks
+    return columns
+
+
+def save_index(
+    index: InvertedIndex,
+    path: Union[str, Path],
+    format_version: int = FORMAT_VERSION,
+) -> Path:
+    """Serialize ``index`` to ``path``.
+
+    ``format_version=2`` (default) writes the memory-mappable directory
+    container; ``format_version=1`` writes the legacy compressed
+    ``.npz`` archive.
+    """
+    if format_version not in SUPPORTED_VERSIONS:
+        raise IndexError_(
+            f"unsupported index format version {format_version} "
+            f"(supported: {SUPPORTED_VERSIONS})"
+        )
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
+    columns = _columnar_arrays(index)
 
-    term_ids = np.asarray(sorted(index.lexicon), dtype=np.int64)
-    lengths = np.asarray(
-        [index.lexicon.postings(int(t)).doc_frequency for t in term_ids],
-        dtype=np.int64,
-    )
-    offsets = np.zeros(term_ids.shape[0] + 1, dtype=np.int64)
-    np.cumsum(lengths, out=offsets[1:])
-    total = int(offsets[-1])
+    if format_version == 1:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(
+            path,
+            format_version=np.asarray([1]),
+            vocab_size=np.asarray([index.lexicon.vocab_size]),
+            chunk_size=np.asarray([index.chunk_map.chunk_size]),
+            bm25=np.asarray([index.bm25_params.k1, index.bm25_params.b]),
+            **columns,
+        )
+        return path
 
-    doc_ids = np.empty(total, dtype=np.int64)
-    freqs = np.empty(total, dtype=np.int64)
-    impacts = np.empty(total, dtype=np.float64)
-    for i, term_id in enumerate(term_ids):
-        plist = index.lexicon.postings(int(term_id))
-        start, end = int(offsets[i]), int(offsets[i + 1])
-        doc_ids[start:end] = plist.doc_ids
-        freqs[start:end] = plist.freqs
-        impacts[start:end] = plist.impacts
-
-    np.savez_compressed(
-        path,
-        format_version=np.asarray([FORMAT_VERSION]),
-        vocab_size=np.asarray([index.lexicon.vocab_size]),
-        chunk_size=np.asarray([index.chunk_map.chunk_size]),
-        bm25=np.asarray([index.bm25_params.k1, index.bm25_params.b]),
-        doc_lengths=index.doc_lengths,
-        static_ranks=index.static_ranks,
-        term_ids=term_ids,
-        term_offsets=offsets,
-        posting_doc_ids=doc_ids,
-        posting_freqs=freqs,
-        posting_impacts=impacts,
-    )
+    path.mkdir(parents=True, exist_ok=True)
+    for name in ARRAY_NAMES:
+        np.save(path / f"{name}.npy", np.ascontiguousarray(columns[name]))
+    meta = {
+        "format_version": 2,
+        "vocab_size": index.lexicon.vocab_size,
+        "chunk_size": index.chunk_map.chunk_size,
+        "bm25": {"k1": index.bm25_params.k1, "b": index.bm25_params.b},
+        "arrays": list(ARRAY_NAMES),
+    }
+    (path / META_FILE).write_text(json.dumps(meta, indent=2) + "\n")
     return path
 
 
-def load_index(path: Union[str, Path]) -> InvertedIndex:
-    """Load an index previously written by :func:`save_index`."""
-    with np.load(Path(path)) as data:
-        version = int(data["format_version"][0])
-        if version != FORMAT_VERSION:
-            raise IndexError_(
-                f"unsupported index format version {version} "
-                f"(expected {FORMAT_VERSION})"
-            )
-        vocab_size = int(data["vocab_size"][0])
-        chunk_size = int(data["chunk_size"][0])
-        k1, b = (float(x) for x in data["bm25"])
-        doc_lengths = data["doc_lengths"]
-        static_ranks = data["static_ranks"]
-        term_ids = data["term_ids"]
-        offsets = data["term_offsets"]
-        posting_doc_ids = data["posting_doc_ids"]
-        posting_freqs = data["posting_freqs"]
-        posting_impacts = data["posting_impacts"]
-
+def _assemble(
+    vocab_size: int,
+    chunk_size: int,
+    k1: float,
+    b: float,
+    arrays: Dict[str, np.ndarray],
+) -> InvertedIndex:
+    """Build an index over loaded columns (shared by both formats)."""
+    doc_lengths = arrays["doc_lengths"]
     chunk_map = ChunkMap(int(doc_lengths.shape[0]), chunk_size)
-    lexicon = Lexicon(vocab_size)
-    for i, term_id in enumerate(term_ids):
-        start, end = int(offsets[i]), int(offsets[i + 1])
-        lexicon.add(
-            PostingList(
-                term_id=int(term_id),
-                doc_ids=posting_doc_ids[start:end],
-                freqs=posting_freqs[start:end],
-                impacts=posting_impacts[start:end],
-                chunk_map=chunk_map,
-            )
-        )
+    lexicon: Lexicon = LazyLexicon(
+        vocab_size=vocab_size,
+        term_ids=np.asarray(arrays["term_ids"], dtype=np.int64),
+        term_offsets=np.asarray(arrays["term_offsets"], dtype=np.int64),
+        doc_ids=arrays["posting_doc_ids"],
+        freqs=arrays["posting_freqs"],
+        impacts=arrays["posting_impacts"],
+        chunk_map=chunk_map,
+    )
     return InvertedIndex(
         lexicon=lexicon,
         chunk_map=chunk_map,
         doc_lengths=doc_lengths,
-        static_ranks=static_ranks,
+        static_ranks=arrays["static_ranks"],
         bm25_params=BM25Params(k1=k1, b=b),
     )
+
+
+def _load_v1(path: Path) -> InvertedIndex:
+    try:
+        data = np.load(path)
+    except (OSError, ValueError) as exc:
+        raise IndexError_(f"cannot read index archive {path}: {exc}") from exc
+    with data:
+        try:
+            version = int(data["format_version"][0])
+            if version != 1:
+                raise IndexError_(
+                    f"unsupported archive format version {version} "
+                    f"(archives are v1; v{FORMAT_VERSION} shards are directories)"
+                )
+            vocab_size = int(data["vocab_size"][0])
+            chunk_size = int(data["chunk_size"][0])
+            k1, b = (float(x) for x in data["bm25"])
+            arrays = {name: data[name] for name in ARRAY_NAMES}
+        except KeyError as exc:
+            raise IndexError_(f"corrupt index archive {path}: missing {exc}") from exc
+    return _assemble(vocab_size, chunk_size, k1, b, arrays)
+
+
+def _load_v2(path: Path, mmap: bool) -> InvertedIndex:
+    meta_path = path / META_FILE
+    if not meta_path.is_file():
+        raise IndexError_(f"not an index shard: {path} has no {META_FILE}")
+    try:
+        meta = json.loads(meta_path.read_text())
+    except (OSError, ValueError) as exc:
+        raise IndexError_(f"corrupt index shard {path}: bad {META_FILE}: {exc}") from exc
+    version = meta.get("format_version")
+    if version != 2:
+        raise IndexError_(
+            f"unsupported shard format version {version!r} (expected 2)"
+        )
+    try:
+        vocab_size = int(meta["vocab_size"])
+        chunk_size = int(meta["chunk_size"])
+        k1 = float(meta["bm25"]["k1"])
+        b = float(meta["bm25"]["b"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise IndexError_(
+            f"corrupt index shard {path}: bad {META_FILE} field: {exc}"
+        ) from exc
+    mmap_mode = "r" if mmap else None
+    arrays = {}
+    for name in ARRAY_NAMES:
+        array_path = path / f"{name}.npy"
+        if not array_path.is_file():
+            raise IndexError_(f"corrupt index shard {path}: missing {name}.npy")
+        try:
+            arrays[name] = np.load(array_path, mmap_mode=mmap_mode)
+        except (OSError, ValueError) as exc:
+            raise IndexError_(
+                f"corrupt index shard {path}: cannot read {name}.npy: {exc}"
+            ) from exc
+    return _assemble(vocab_size, chunk_size, k1, b, arrays)
+
+
+def load_index(path: Union[str, Path], mmap: bool = True) -> InvertedIndex:
+    """Load an index previously written by :func:`save_index`.
+
+    Dispatches on the container found at ``path``: a directory loads as
+    a v2 shard (memory-mapped when ``mmap`` is true, the default; pass
+    ``mmap=False`` to materialize every column in RAM), a file loads as
+    a v1 archive (always fully in memory — zip members cannot be
+    mapped). Either way the lexicon is lazy: posting lists materialize
+    per term on first touch, so loading is O(1) in index size.
+    """
+    path = Path(path)
+    if path.is_dir():
+        return _load_v2(path, mmap)
+    if path.is_file():
+        return _load_v1(path)
+    raise IndexError_(f"no index found at {path}")

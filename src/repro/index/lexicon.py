@@ -1,12 +1,24 @@
-"""Lexicon: term dictionary mapping term ids to posting lists and stats."""
+"""Lexicon: term dictionary mapping term ids to posting lists and stats.
+
+Two implementations share one interface: the eager :class:`Lexicon`
+(posting lists registered up front, as the index builder produces them)
+and the :class:`LazyLexicon` over a columnar posting store (one flat
+array per field plus per-term offsets — the on-disk layout of
+:mod:`repro.index.io`), which materializes a :class:`PostingList` view
+the first time a term is touched. Laziness is what makes loading a saved
+shard O(1) in index size and lets a memory-mapped shard larger than RAM
+serve queries while only the touched terms' pages are resident.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List
+import threading
+from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
 from repro.errors import IndexError_
+from repro.index.chunks import ChunkMap
 from repro.index.postings import PostingList
 
 
@@ -77,3 +89,144 @@ class Lexicon:
 
     def __repr__(self) -> str:
         return f"Lexicon(vocab_size={self.vocab_size}, terms={len(self)})"
+
+
+class LazyLexicon(Lexicon):
+    """Lexicon over a columnar posting store, materialized on demand.
+
+    Backed by the flat arrays of the persisted layout: ``term_ids`` (the
+    terms present, ascending), ``term_offsets`` (``len(term_ids) + 1``
+    slice boundaries), and the concatenated ``doc_ids`` / ``freqs`` /
+    ``impacts`` columns. A term's :class:`PostingList` — including its
+    derived per-chunk metadata — is built from zero-copy column slices
+    the first time the term is requested and cached thereafter, so
+    construction cost is O(1) and queries touch only the terms (and, for
+    memory-mapped columns, the pages) they actually use.
+
+    Materialization is guarded by a lock: the real-thread executors may
+    request the same term concurrently, and ``PostingList`` construction
+    must not be observed half-cached. Statistics that the columnar layout
+    answers directly (document frequencies) never materialize anything.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        term_ids: np.ndarray,
+        term_offsets: np.ndarray,
+        doc_ids: np.ndarray,
+        freqs: np.ndarray,
+        impacts: np.ndarray,
+        chunk_map: ChunkMap,
+    ) -> None:
+        super().__init__(vocab_size)
+        if term_offsets.shape[0] != term_ids.shape[0] + 1:
+            raise IndexError_(
+                f"term_offsets must have {term_ids.shape[0] + 1} entries, "
+                f"got {term_offsets.shape[0]}"
+            )
+        self._slots: Dict[int, int] = {
+            int(t): i for i, t in enumerate(term_ids.tolist())
+        }
+        for term_id in self._slots:
+            if not 0 <= term_id < vocab_size:
+                raise IndexError_(
+                    f"term id {term_id} outside [0, {vocab_size})"
+                )
+        self._term_ids = term_ids
+        self._offsets = term_offsets
+        self._doc_ids = doc_ids
+        self._freqs = freqs
+        self._impacts = impacts
+        self._chunk_map = chunk_map
+        self._lock = threading.Lock()
+
+    def _materialize(self, term_id: int) -> PostingList:
+        with self._lock:
+            cached = self._postings.get(term_id)
+            if cached is not None:
+                return cached
+            slot = self._slots[term_id]
+            start = int(self._offsets[slot])
+            end = int(self._offsets[slot + 1])
+            plist = PostingList(
+                term_id=term_id,
+                doc_ids=self._doc_ids[start:end],
+                freqs=self._freqs[start:end],
+                impacts=self._impacts[start:end],
+                chunk_map=self._chunk_map,
+            )
+            self._postings[term_id] = plist
+            return plist
+
+    def add(self, posting_list: PostingList) -> None:
+        raise IndexError_("LazyLexicon is read-only; terms come from the store")
+
+    def __contains__(self, term_id: int) -> bool:
+        return term_id in self._slots
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(sorted(self._slots))
+
+    def postings(self, term_id: int) -> PostingList:
+        plist = self._postings.get(term_id)
+        if plist is not None:
+            return plist
+        if term_id not in self._slots:
+            raise IndexError_(f"term {term_id} has no posting list")
+        return self._materialize(term_id)
+
+    def postings_or_none(self, term_id: int) -> Optional[PostingList]:
+        plist = self._postings.get(term_id)
+        if plist is not None:
+            return plist
+        if term_id not in self._slots:
+            return None
+        return self._materialize(term_id)
+
+    def doc_frequency(self, term_id: int) -> int:
+        slot = self._slots.get(term_id)
+        if slot is None:
+            return 0
+        return int(self._offsets[slot + 1] - self._offsets[slot])
+
+    def max_impact(self, term_id: int) -> float:
+        plist = self.postings_or_none(term_id)
+        return plist.max_impact if plist is not None else 0.0
+
+    def document_frequencies(self) -> np.ndarray:
+        df = np.zeros(self.vocab_size, dtype=np.int64)
+        if self._term_ids.shape[0]:
+            df[self._term_ids] = np.diff(self._offsets)
+        return df
+
+    def posting_lists(self, term_ids: List[int]) -> List[PostingList]:
+        found = []
+        for term_id in term_ids:
+            plist = self.postings_or_none(term_id)
+            if plist is not None:
+                found.append(plist)
+        return found
+
+    def columns(self) -> Dict[str, np.ndarray]:
+        """The backing columnar arrays (the persisted layout, verbatim).
+
+        Lets :func:`repro.index.io.save_index` re-serialize a loaded
+        shard without re-concatenating per-term arrays.
+        """
+        return {
+            "term_ids": self._term_ids,
+            "term_offsets": self._offsets,
+            "posting_doc_ids": self._doc_ids,
+            "posting_freqs": self._freqs,
+            "posting_impacts": self._impacts,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"LazyLexicon(vocab_size={self.vocab_size}, terms={len(self)}, "
+            f"materialized={len(self._postings)})"
+        )

@@ -1,0 +1,250 @@
+"""Batched multi-query execution and safe per-chunk skipping.
+
+The batch executor's contract is *bit-identity*: for every termination
+configuration, each query's result — documents, scores, virtual latency,
+work counters, fired rule — must equal ``engine.execute(query, 1)``
+exactly. These tests pin that contract across the rule matrix, the
+batched scoring kernel, the threaded batch mode, and the skipping
+counters that feed the cost model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.batch import BatchExecutor, BatchStats
+from repro.engine.executor import Engine, EngineConfig
+from repro.engine.query import MatchMode, Query
+from repro.engine.termination import TerminationConfig
+from repro.errors import ConfigurationError, ExecutionError
+
+TERMINATION_MATRIX = {
+    "default": TerminationConfig(),
+    "exhaustive": TerminationConfig(match_budget=None, use_score_bound=False),
+    "bound_only": TerminationConfig(match_budget=None, use_score_bound=True),
+    "budget_only": TerminationConfig(match_budget=64, use_score_bound=False),
+    "skip_bound": TerminationConfig(
+        match_budget=None, use_score_bound=True, skip_chunks=True
+    ),
+    "skip_only": TerminationConfig(
+        match_budget=None, use_score_bound=False, skip_chunks=True
+    ),
+}
+
+
+def _engine(workbench, termination):
+    return Engine(workbench.index, EngineConfig(termination=termination))
+
+
+def _assert_identical(batched, sequential):
+    assert batched.doc_ids == sequential.doc_ids
+    assert list(batched.scores) == list(sequential.scores)
+    assert batched.latency == sequential.latency  # reprolint: disable=R004 -- bit-identity is the property under test
+    assert batched.cpu_time == sequential.cpu_time  # reprolint: disable=R004 -- bit-identity is the property under test
+    assert batched.chunks_evaluated == sequential.chunks_evaluated
+    assert batched.chunks_skipped == sequential.chunks_skipped
+    assert batched.postings_scanned == sequential.postings_scanned
+    assert batched.termination_rule == sequential.termination_rule
+    assert batched.terminated_early == sequential.terminated_early
+
+
+class TestBatchExecutorEquivalence:
+    @pytest.mark.parametrize("name", sorted(TERMINATION_MATRIX))
+    def test_bit_identical_to_sequential(
+        self, small_workbench, sample_queries, name
+    ):
+        engine = _engine(small_workbench, TERMINATION_MATRIX[name])
+        queries = sample_queries[:30]
+        batched = engine.execute_batch(queries)
+        assert len(batched) == len(queries)
+        for query, result in zip(queries, batched):
+            _assert_identical(result, engine.execute(query, 1))
+
+    def test_execute_one_matches_batch(self, small_engine, sample_queries):
+        executor = small_engine.batch_executor()
+        for query in sample_queries[:10]:
+            _assert_identical(
+                executor.execute_one(query), small_engine.execute(query, 1)
+            )
+
+    def test_results_in_input_order(self, small_engine, sample_queries):
+        queries = sample_queries[:12]
+        results = small_engine.execute_batch(queries)
+        assert [r.query for r in results] == list(queries)
+
+    def test_empty_batch(self, small_engine):
+        assert small_engine.execute_batch([]) == []
+
+    def test_empty_query_in_batch(self, small_engine, small_workbench):
+        vocab = small_workbench.index.lexicon.vocab_size
+        queries = [Query.of([vocab - 1], k=5)]  # likely absent term
+        results = small_engine.execute_batch(queries)
+        assert len(results) == 1
+
+    def test_last_stats_accounting(self, small_engine, sample_queries):
+        executor = small_engine.batch_executor()
+        queries = sample_queries[:20]
+        results = executor.execute(queries)
+        stats = executor.last_stats
+        assert stats.queries == 20
+        assert stats.chunks_evaluated == sum(r.chunks_evaluated for r in results)
+        assert stats.chunks_skipped == sum(r.chunks_skipped for r in results)
+        assert stats.chunks_speculative >= 0
+        assert stats.waves >= 1
+
+    def test_wave_parameters_do_not_change_results(
+        self, small_workbench, sample_queries
+    ):
+        engine = _engine(small_workbench, TERMINATION_MATRIX["default"])
+        queries = sample_queries[:15]
+        small_waves = engine.batch_executor(initial_wave=1, max_wave=2).execute(
+            queries
+        )
+        big_waves = engine.batch_executor(
+            initial_wave=32, max_wave=256
+        ).execute(queries)
+        for a, b in zip(small_waves, big_waves):
+            _assert_identical(a, b)
+
+    def test_wave_validation(self, small_workbench):
+        with pytest.raises(ConfigurationError):
+            BatchExecutor(small_workbench.index, initial_wave=0)
+        with pytest.raises(ConfigurationError):
+            BatchExecutor(small_workbench.index, initial_wave=8, max_wave=4)
+
+    def test_default_stats(self, small_workbench):
+        executor = BatchExecutor(small_workbench.index)
+        assert executor.last_stats == BatchStats()
+
+
+class TestScoreChunksKernel:
+    @pytest.mark.parametrize("mode", [MatchMode.ALL, MatchMode.ANY])
+    def test_bit_identical_to_per_chunk(self, small_engine, small_workbench, mode):
+        generator = small_workbench.query_generator("batch-kernel")
+        queries = [
+            Query.of(q.term_ids, k=q.k, mode=mode)
+            for q in generator.sample_many(20)
+        ]
+        plan = max(
+            (small_engine.plan(q) for q in queries),
+            key=lambda p: p.n_candidate_chunks,
+        )
+        assert plan.n_candidate_chunks >= 2, "need a multi-chunk plan"
+        positions = list(range(plan.n_candidate_chunks))
+        batched = plan.score_chunks(positions)
+        for position, outcome in zip(positions, batched):
+            single = plan.score_chunk(position)
+            assert outcome.chunk_id == single.chunk_id
+            assert np.array_equal(outcome.doc_ids, single.doc_ids)
+            assert list(outcome.scores) == list(single.scores)
+            assert outcome.postings_scanned == single.postings_scanned
+            assert outcome.n_matched == single.n_matched
+
+    def test_subset_and_stride_selections(self, small_engine, sample_queries):
+        plan = max(
+            (small_engine.plan(q) for q in sample_queries),
+            key=lambda p: p.n_candidate_chunks,
+        )
+        positions = list(range(0, plan.n_candidate_chunks, 2))
+        for outcome, position in zip(plan.score_chunks(positions), positions):
+            single = plan.score_chunk(position)
+            assert np.array_equal(outcome.doc_ids, single.doc_ids)
+            assert list(outcome.scores) == list(single.scores)
+
+    def test_empty_and_singleton(self, small_engine, sample_queries):
+        plan = small_engine.plan(sample_queries[0])
+        assert plan.score_chunks([]) == []
+        if plan.n_candidate_chunks:
+            [outcome] = plan.score_chunks([0])
+            single = plan.score_chunk(0)
+            assert np.array_equal(outcome.doc_ids, single.doc_ids)
+
+    def test_rejects_bad_positions(self, small_engine, sample_queries):
+        plan = max(
+            (small_engine.plan(q) for q in sample_queries),
+            key=lambda p: p.n_candidate_chunks,
+        )
+        with pytest.raises(ExecutionError):
+            plan.score_chunks([1, 0])  # not ascending
+        with pytest.raises(ExecutionError):
+            plan.score_chunks([0, 0])  # not strictly ascending
+        with pytest.raises(ExecutionError):
+            plan.score_chunks([0, plan.n_candidate_chunks])  # out of range
+        with pytest.raises(ExecutionError):
+            plan.score_chunks([-1, 0])
+
+
+class TestThreadedBatch:
+    def test_bit_identical_any_termination(self, small_workbench, sample_queries):
+        # Unlike intra-query threading, inter-query threading is exact
+        # even under the approximate match budget: queries are
+        # independent units of work.
+        engine = _engine(small_workbench, TerminationConfig(match_budget=64))
+        queries = sample_queries[:16]
+        for result, query in zip(
+            engine.execute_threaded_batch(queries, degree=4), queries
+        ):
+            _assert_identical(result, engine.execute(query, 1))
+
+    def test_degree_one_runs_inline(self, small_engine, sample_queries):
+        queries = sample_queries[:5]
+        for result, query in zip(
+            small_engine.execute_threaded_batch(queries, degree=1), queries
+        ):
+            _assert_identical(result, small_engine.execute(query, 1))
+
+    def test_invalid_degree_rejected(self, small_engine, sample_queries):
+        for bad in (0, -1, 1.5, True):
+            with pytest.raises(ExecutionError):
+                small_engine.execute_threaded_batch(sample_queries[:2], bad)
+
+
+class TestSkippingSemantics:
+    def test_skipping_without_budget_is_bit_identical(
+        self, small_workbench, sample_queries
+    ):
+        skip = _engine(small_workbench, TERMINATION_MATRIX["skip_bound"])
+        exhaustive = _engine(small_workbench, TERMINATION_MATRIX["exhaustive"])
+        for query in sample_queries[:30]:
+            a = skip.execute(query, 1)
+            b = exhaustive.execute(query, 1)
+            assert a.doc_ids == b.doc_ids
+            assert list(a.scores) == list(b.scores)
+
+    def test_skipping_actually_skips(self, small_workbench, sample_queries):
+        skip = _engine(small_workbench, TERMINATION_MATRIX["skip_only"])
+        skipped = sum(
+            skip.execute(q, 1).chunks_skipped for q in sample_queries
+        )
+        assert skipped > 0, "per-chunk skipping never fired on 60 queries"
+
+    def test_skipped_chunks_not_counted_as_evaluated(
+        self, small_workbench, sample_queries
+    ):
+        skip = _engine(small_workbench, TERMINATION_MATRIX["skip_only"])
+        exhaustive = _engine(small_workbench, TERMINATION_MATRIX["exhaustive"])
+        for query in sample_queries[:30]:
+            a = skip.execute(query, 1)
+            b = exhaustive.execute(query, 1)
+            assert a.chunks_evaluated + a.chunks_skipped == b.chunks_evaluated
+
+    def test_parallel_skipping_matches_sequential(
+        self, small_workbench, sample_queries
+    ):
+        engine = _engine(small_workbench, TERMINATION_MATRIX["skip_bound"])
+        for query in sample_queries[:15]:
+            sequential = engine.execute(query, 1)
+            for degree in (2, 4):
+                parallel = engine.execute(query, degree)
+                assert parallel.doc_ids == sequential.doc_ids
+                assert list(parallel.scores) == list(sequential.scores)
+
+    def test_threaded_skipping_matches_sequential(
+        self, small_workbench, sample_queries
+    ):
+        engine = _engine(small_workbench, TERMINATION_MATRIX["skip_bound"])
+        for query in sample_queries[:8]:
+            threaded = engine.execute_threaded(query, 4)
+            sequential = engine.execute(query, 1)
+            assert threaded.doc_ids == sequential.doc_ids

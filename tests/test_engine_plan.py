@@ -49,6 +49,31 @@ class TestCandidateChunks:
         plan = _plan(tiny_index, [common, missing], mode=MatchMode.ANY)
         assert not plan.is_empty
 
+    def test_chunk_ids_are_sorted_unique(self, tiny_index):
+        # The assume_unique=True fast path in _candidate_chunks is only
+        # valid because PostingList.chunk_ids is sorted-unique by
+        # construction; pin that invariant where the optimization relies
+        # on it.
+        for term in _common_terms(tiny_index, 5):
+            chunk_ids = tiny_index.lexicon.postings(term).chunk_ids
+            assert np.array_equal(chunk_ids, np.unique(chunk_ids))
+
+    def test_candidates_match_unoptimized_reference(self, tiny_index):
+        # assume_unique / single-pass union must compute the same sets as
+        # the naive sorted intersections/unions.
+        terms = _common_terms(tiny_index, 3)
+        plists = [tiny_index.lexicon.postings(t) for t in terms]
+        all_plan = _plan(tiny_index, terms)
+        expected_all = plists[0].chunk_ids
+        for plist in plists[1:]:
+            expected_all = np.intersect1d(expected_all, plist.chunk_ids)
+        assert np.array_equal(all_plan.candidate_chunks, expected_all)
+        any_plan = _plan(tiny_index, terms, mode=MatchMode.ANY)
+        expected_any = plists[0].chunk_ids
+        for plist in plists[1:]:
+            expected_any = np.union1d(expected_any, plist.chunk_ids)
+        assert np.array_equal(any_plan.candidate_chunks, expected_any)
+
 
 class TestBounds:
     def test_bounds_non_increasing(self, tiny_index):

@@ -94,3 +94,81 @@ class TestTerminationState:
             TerminationConfig(match_budget=0)
         # None budget is the exhaustive configuration.
         assert TerminationConfig(match_budget=None).match_budget is None
+
+    def test_config_flags_must_be_booleans(self):
+        # A stray positional int landing in a flag slot must not silently
+        # enable a rule with a truthy garbage value.
+        with pytest.raises(Exception):
+            TerminationConfig(match_budget=None, use_score_bound=1)
+        with pytest.raises(Exception):
+            TerminationConfig(match_budget=None, skip_chunks=1)
+
+    def test_all_rules_off_is_valid_and_exhaustive(self):
+        config = TerminationConfig(
+            match_budget=None, use_score_bound=False, skip_chunks=False
+        )
+        assert config.is_exhaustive
+        assert not TerminationConfig().is_exhaustive
+        assert not TerminationConfig(
+            match_budget=None, use_score_bound=False, skip_chunks=True
+        ).is_exhaustive
+
+    def test_would_stop_is_pure(self, plan):
+        state = TerminationState(
+            TerminationConfig(match_budget=5, use_score_bound=False),
+            plan,
+            TopK(5),
+        )
+        state.record_matches(100)
+        assert state.would_stop(0) == "match_budget"
+        assert state.fired_rule is None  # lookahead committed nothing
+        assert state.should_stop(0)
+        assert state.fired_rule == "match_budget"
+
+    def test_skip_requires_configuration_and_full_heap(self, plan):
+        topk = TopK(5)
+        off = TerminationState(
+            TerminationConfig(match_budget=None, use_score_bound=False),
+            plan,
+            topk,
+        )
+        assert not off.should_skip(0)  # rule not enabled
+        on = TerminationState(
+            TerminationConfig(
+                match_budget=None, use_score_bound=False, skip_chunks=True
+            ),
+            plan,
+            topk,
+        )
+        assert not on.should_skip(0)  # heap not full yet
+
+    def test_skip_fires_when_chunk_bound_beaten(self, plan):
+        topk = TopK(1)
+        topk.offer(plan.chunk_bound(0) + 1.0, 0)
+        state = TerminationState(
+            TerminationConfig(
+                match_budget=None, use_score_bound=False, skip_chunks=True
+            ),
+            plan,
+            topk,
+        )
+        assert state.should_skip(0)
+        # Skipping is not stopping: no rule fires and the scan continues.
+        assert state.fired_rule is None
+
+    def test_chunk_bound_validation(self, plan):
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            plan.chunk_bound(-1)
+        with pytest.raises(ExecutionError):
+            plan.chunk_bound(plan.n_candidate_chunks)
+
+    def test_chunk_bounds_dominated_by_suffix_bounds(self, plan):
+        # The suffix bound at i covers chunks i..end, so each individual
+        # chunk bound can never exceed it.
+        import numpy as np
+
+        assert np.all(
+            plan.chunk_bounds <= plan.bounds_from[: plan.n_candidate_chunks]
+        )

@@ -51,14 +51,222 @@ class TestIndexPersistence:
             assert a.doc_ids == b.doc_ids
             assert a.latency == b.latency  # reprolint: disable=R004 -- save/load round-trip must be bit-identical
 
-    def test_version_check(self, tiny_index, tmp_path):
-        path = save_index(tiny_index, tmp_path / "shard.npz")
+    def test_version_check_v1(self, tiny_index, tmp_path):
+        path = save_index(tiny_index, tmp_path / "shard.npz", format_version=1)
         with np.load(path) as data:
             payload = {k: data[k] for k in data.files}
         payload["format_version"] = np.asarray([99])
         np.savez_compressed(path, **payload)
         with pytest.raises(IndexError_):
             load_index(path)
+
+    def test_version_check_v2(self, tiny_index, tmp_path):
+        import json
+
+        path = save_index(tiny_index, tmp_path / "shard_v2")
+        meta_path = path / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["format_version"] = 99
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(IndexError_):
+            load_index(path)
+
+    def test_unsupported_save_version_rejected(self, tiny_index, tmp_path):
+        with pytest.raises(IndexError_):
+            save_index(tiny_index, tmp_path / "shard", format_version=3)
+
+    def test_large_vocab_roundtrip(self, tmp_path):
+        # Regression for the vectorized columnar flatten: a vocabulary
+        # much larger than the document count produces thousands of
+        # short posting lists, the worst case for the old per-term copy
+        # loop and the easiest place for an offsets off-by-one to hide.
+        from repro.corpus.generator import CorpusConfig, generate_corpus
+        from repro.index.builder import IndexConfig, build_index
+
+        corpus = generate_corpus(
+            CorpusConfig(n_docs=400, vocab_size=6_000, mean_doc_length=80, seed=5)
+        )
+        index = build_index(corpus, IndexConfig(chunk_size=64))
+        for name, loaded in (
+            ("v1", load_index(save_index(index, tmp_path / "big.npz", format_version=1))),
+            ("v2", load_index(save_index(index, tmp_path / "big_v2"))),
+        ):
+            assert np.array_equal(
+                loaded.lexicon.document_frequencies(),
+                index.lexicon.document_frequencies(),
+            ), name
+            for term_id in list(index.lexicon)[:: max(1, len(index.lexicon) // 50)]:
+                original = index.lexicon.postings(term_id)
+                restored = loaded.lexicon.postings(term_id)
+                assert np.array_equal(original.doc_ids, restored.doc_ids), name
+                assert np.array_equal(original.impacts, restored.impacts), name
+
+    def test_missing_path_rejected(self, tmp_path):
+        with pytest.raises(IndexError_):
+            load_index(tmp_path / "nothing_here")
+
+
+class TestFormatV2:
+    """The memory-mappable directory container."""
+
+    def _queries(self, index, n=15):
+        from repro.workloads.queries import QueryGenerator, QueryWorkloadConfig
+
+        generator = QueryGenerator(
+            QueryWorkloadConfig(vocab_size=index.lexicon.vocab_size, seed=7)
+        )
+        return generator.sample_many(n)
+
+    def test_v1_v2_roundtrip_equivalent(self, tiny_index, tmp_path):
+        v1 = load_index(save_index(tiny_index, tmp_path / "a.npz", format_version=1))
+        v2 = load_index(save_index(tiny_index, tmp_path / "b"))
+        for term_id in list(tiny_index.lexicon)[:25]:
+            a = v1.lexicon.postings(term_id)
+            b = v2.lexicon.postings(term_id)
+            assert np.array_equal(a.doc_ids, b.doc_ids)
+            assert np.array_equal(a.freqs, b.freqs)
+            assert np.array_equal(a.impacts, b.impacts)
+
+    def test_mmap_and_ram_execute_identically(self, tiny_index, tmp_path):
+        path = save_index(tiny_index, tmp_path / "shard")
+        engines = [
+            Engine(index)
+            for index in (
+                tiny_index,
+                load_index(path, mmap=True),
+                load_index(path, mmap=False),
+            )
+        ]
+        for query in self._queries(tiny_index):
+            results = [engine.execute(query, 1) for engine in engines]
+            for other in results[1:]:
+                assert other.doc_ids == results[0].doc_ids
+                assert other.latency == results[0].latency  # reprolint: disable=R004 -- mmap backing must not change results
+
+    def test_mmap_columns_are_memory_mapped(self, tiny_index, tmp_path):
+        path = save_index(tiny_index, tmp_path / "shard")
+        index = load_index(path, mmap=True)
+        columns = index.lexicon.columns()
+        assert isinstance(columns["posting_doc_ids"], np.memmap)
+        ram = load_index(path, mmap=False)
+        assert not isinstance(ram.lexicon.columns()["posting_doc_ids"], np.memmap)
+
+    def test_loaded_shard_resaves_identically(self, tiny_index, tmp_path):
+        # LazyLexicon round-trip: saving a loaded shard reuses the
+        # columnar arrays verbatim.
+        first = save_index(tiny_index, tmp_path / "first")
+        loaded = load_index(first)
+        second = save_index(loaded, tmp_path / "second")
+        for name in ("posting_doc_ids", "posting_impacts", "term_offsets"):
+            a = np.load(first / f"{name}.npy")
+            b = np.load(second / f"{name}.npy")
+            assert np.array_equal(a, b)
+
+    def test_missing_array_rejected(self, tiny_index, tmp_path):
+        path = save_index(tiny_index, tmp_path / "shard")
+        (path / "posting_freqs.npy").unlink()
+        with pytest.raises(IndexError_):
+            load_index(path)
+
+    def test_truncated_array_rejected(self, tiny_index, tmp_path):
+        path = save_index(tiny_index, tmp_path / "shard")
+        (path / "posting_doc_ids.npy").write_bytes(b"\x93NUMPY")
+        with pytest.raises(IndexError_):
+            load_index(path)
+
+    def test_missing_meta_rejected(self, tiny_index, tmp_path):
+        path = save_index(tiny_index, tmp_path / "shard")
+        (path / "meta.json").unlink()
+        with pytest.raises(IndexError_):
+            load_index(path)
+
+    def test_malformed_meta_rejected(self, tiny_index, tmp_path):
+        path = save_index(tiny_index, tmp_path / "shard")
+        (path / "meta.json").write_text("{not json")
+        with pytest.raises(IndexError_):
+            load_index(path)
+
+    def test_meta_missing_field_rejected(self, tiny_index, tmp_path):
+        import json
+
+        path = save_index(tiny_index, tmp_path / "shard")
+        meta = json.loads((path / "meta.json").read_text())
+        del meta["bm25"]
+        (path / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(IndexError_):
+            load_index(path)
+
+
+class TestLazyLexicon:
+    def test_df_answered_without_materializing(self, tiny_index, tmp_path):
+        loaded = load_index(save_index(tiny_index, tmp_path / "shard"))
+        lexicon = loaded.lexicon
+        df = lexicon.document_frequencies()
+        assert np.array_equal(df, tiny_index.lexicon.document_frequencies())
+        some_term = next(iter(lexicon))
+        assert lexicon.doc_frequency(some_term) == df[some_term]
+        # Statistics come straight from the offsets: nothing materialized.
+        assert "materialized=0" in repr(lexicon)
+        lexicon.postings(some_term)
+        assert "materialized=1" in repr(lexicon)
+
+    def test_materialized_postings_cached(self, tiny_index, tmp_path):
+        loaded = load_index(save_index(tiny_index, tmp_path / "shard"))
+        term = next(iter(loaded.lexicon))
+        assert loaded.lexicon.postings(term) is loaded.lexicon.postings(term)
+
+    def test_read_only(self, tiny_index, tmp_path):
+        loaded = load_index(save_index(tiny_index, tmp_path / "shard"))
+        term = next(iter(tiny_index.lexicon))
+        with pytest.raises(IndexError_):
+            loaded.lexicon.add(tiny_index.lexicon.postings(term))
+
+    def test_len_iter_contains(self, tiny_index, tmp_path):
+        loaded = load_index(save_index(tiny_index, tmp_path / "shard"))
+        assert len(loaded.lexicon) == len(tiny_index.lexicon)
+        assert list(loaded.lexicon) == list(tiny_index.lexicon)
+        present = next(iter(tiny_index.lexicon))
+        assert present in loaded.lexicon
+        assert loaded.lexicon.vocab_size + 1 not in loaded.lexicon
+        absent_df = loaded.lexicon.doc_frequency(loaded.lexicon.vocab_size + 1)
+        assert absent_df == 0
+        assert loaded.lexicon.max_impact(loaded.lexicon.vocab_size + 1) == 0.0
+        assert loaded.lexicon.postings_or_none(loaded.lexicon.vocab_size + 1) is None
+
+    def test_bad_offsets_rejected(self, tiny_index, tmp_path):
+        from repro.index.chunks import ChunkMap
+        from repro.index.lexicon import LazyLexicon
+
+        with pytest.raises(IndexError_):
+            LazyLexicon(
+                vocab_size=10,
+                term_ids=np.asarray([1, 2], dtype=np.int64),
+                term_offsets=np.asarray([0, 3], dtype=np.int64),  # needs 3 entries
+                doc_ids=np.arange(5),
+                freqs=np.ones(5, dtype=np.int64),
+                impacts=np.ones(5),
+                chunk_map=ChunkMap(8, 4),
+            )
+
+    def test_out_of_range_term_rejected(self, tmp_path):
+        from repro.index.chunks import ChunkMap
+        from repro.index.lexicon import LazyLexicon
+
+        with pytest.raises(IndexError_):
+            LazyLexicon(
+                vocab_size=2,
+                term_ids=np.asarray([5], dtype=np.int64),
+                term_offsets=np.asarray([0, 1], dtype=np.int64),
+                doc_ids=np.arange(1),
+                freqs=np.ones(1, dtype=np.int64),
+                impacts=np.ones(1),
+                chunk_map=ChunkMap(8, 4),
+            )
+
+    def test_n_postings_does_not_materialize(self, tiny_index, tmp_path):
+        loaded = load_index(save_index(tiny_index, tmp_path / "shard"))
+        assert loaded.n_postings == tiny_index.n_postings
+        assert "materialized=0" in repr(loaded.lexicon)
 
 
 class TestWorkloadTrace:

@@ -135,6 +135,47 @@ class TestRealTreeMutations:
         result = lint_paths([str(target)], select=["R012"])
         assert result.findings == []
 
+    def test_r012_owned_batch_path_clean_cross_module(self, tmp_path):
+        # The threaded batch worker hands whole queries to
+        # BatchExecutor.execute_one; every per-query write it reaches is
+        # on an object graph the thread constructed itself (ownership
+        # transfer through constructors, receivers, and call arguments).
+        # This needs the full tree: the worker -> execute_one edge only
+        # resolves with batch.py in the project model.
+        tree = tmp_path / "repro"
+        shutil.copytree(REPO_ROOT / "src/repro", tree)
+        result = lint_paths([str(tree)], select=["R012"])
+        assert result.findings == []
+
+    def test_r012_publishing_batch_stats_from_worker(self, tmp_path):
+        # ...but ownership must stop at the executor, which IS shared
+        # across worker threads: making execute_one publish its per-call
+        # stats onto the executor reintroduces a real race and must flag.
+        tree = tmp_path / "repro"
+        shutil.copytree(REPO_ROOT / "src/repro", tree)
+        target = tree / "engine" / "batch.py"
+        source = target.read_text()
+        anchor = (
+            "        while not run.done:\n"
+            "            self._advance(run, stats)\n"
+            "        return run.result()"
+        )
+        assert anchor in source
+        mutated = source.replace(
+            anchor,
+            "        while not run.done:\n"
+            "            self._advance(run, stats)\n"
+            "        self.last_stats = stats\n"
+            "        return run.result()",
+            1,
+        )
+        target.write_text(mutated)
+        bad_line = 3 + mutated[: mutated.index(anchor[:30])].count("\n")
+        result = lint_paths([str(tree)], select=["R012"])
+        assert [(f.line, f.rule_id) for f in result.findings] == [
+            (bad_line, "R012")
+        ]
+
     def test_r013_dropping_experiment_from_registry(self, tmp_path):
         # Copy the full package (R013 needs registry + experiments
         # together), then delete e20_regimes from _MODULES: the module

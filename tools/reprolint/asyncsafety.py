@@ -20,7 +20,7 @@ thread-pool engine, all caught statically:
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
 from tools.reprolint.core import FileContext, Finding, Rule, register
 from tools.reprolint.project import (
@@ -321,25 +321,25 @@ class AsyncSafetyRule(Rule):
                     if worker in nested:
                         entries.append(
                             (nested[worker], module, owner, spawn_site,
-                             local_types)
+                             local_types, frozenset())
                         )
                         continue
                     resolved = project.resolve_function(module, worker)
                     if resolved is not None:
                         entries.append(
                             (resolved.node, resolved.module, None,
-                             spawn_site, {})
+                             spawn_site, {}, frozenset())
                         )
 
         thread_writes: Dict[Tuple[str, str], str] = {}
-        seen: Set[int] = set()
+        seen: Set[Tuple[int, FrozenSet[str]]] = set()
         queue = list(entries)
         while queue:
             item = queue.pop()
-            scope, module, _owner, spawn_site, _inherited = item
-            if id(scope) in seen:
+            scope, module, _owner, spawn_site, _inherited, owned = item
+            if (id(scope), owned) in seen:
                 continue
-            seen.add(id(scope))
+            seen.add((id(scope), owned))
             for _statement, description in _unlocked_attr_writes(scope):
                 thread_writes.setdefault(
                     (module.name, description), spawn_site

@@ -24,7 +24,7 @@ ProjectModel`:
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
 from tools.reprolint.core import FileContext, Finding, Rule, register
 from tools.reprolint.project import (
@@ -454,14 +454,22 @@ class ThreadSafetyRule(Rule):
         "reachable from a worker callable (via the project call graph) "
         "that is written outside a 'with <lock>:' block is a data race "
         "the virtual-time executor can never exhibit — it only shows up "
-        "as rare, irreproducible validation failures."
+        "as rare, irreproducible validation failures. Objects a thread "
+        "constructs and never publishes are *owned* — thread-local by "
+        "construction — and writes to them are not races: ownership flows "
+        "from constructor calls ('self' inside __init__), from method "
+        "receivers rooted at an owned name, and through call arguments "
+        "that are owned in the caller. Ownership is per-path: a scope "
+        "also reachable with an unowned receiver is still checked there."
     )
     project_rule = True
 
     #: one work item: (scope node, module, owner class, spawn site,
-    #: inherited local types — the enclosing scope's for closures)
+    #: inherited local types — the enclosing scope's for closures,
+    #: parameter names owned by this path: thread-local by construction)
     _Item = Tuple[
-        ast.AST, ModuleInfo, Optional[ClassInfo], str, Dict[str, ClassInfo]
+        ast.AST, ModuleInfo, Optional[ClassInfo], str, Dict[str, ClassInfo],
+        FrozenSet[str],
     ]
 
     def check_project(
@@ -493,35 +501,40 @@ class ThreadSafetyRule(Rule):
                     spawn_site = f"{ctx.path}:{node.lineno}"
                     if worker in nested:
                         entries.append(
-                            (nested[worker], module, owner, spawn_site, local_types)
+                            (nested[worker], module, owner, spawn_site,
+                             local_types, frozenset())
                         )
                         continue
                     resolved = project.resolve_function(module, worker)
                     if resolved is not None:
                         entries.append(
-                            (resolved.node, resolved.module, None, spawn_site, {})
+                            (resolved.node, resolved.module, None, spawn_site,
+                             {}, frozenset())
                         )
 
         # 2. BFS the call graph from the entry points. Calls made while
         #    holding a lock are NOT followed: the callee runs under the
         #    caller's lock, so its writes are protected (single-lock
-        #    discipline, which is what this codebase uses).
+        #    discipline, which is what this codebase uses). A scope is
+        #    revisited per distinct owned-parameter set so a path that
+        #    reaches it with an unowned receiver still gets checked.
         reachable: List[ThreadSafetyRule._Item] = []
-        seen: Set[int] = set()
+        seen: Set[Tuple[int, FrozenSet[str]]] = set()
         queue = list(entries)
         while queue:
             item = queue.pop()
-            node = item[0]
-            if id(node) in seen:
+            key = (id(item[0]), item[5])
+            if key in seen:
                 continue
-            seen.add(id(node))
+            seen.add(key)
             reachable.append(item)
             queue.extend(self._unlocked_callees(item, project))
 
         # 3. Flag unlocked writes to shared state in reachable scopes.
+        #    Findings are the union over every (scope, ownership) path.
         emitted: Set[Tuple[str, int]] = set()
-        for node, module, owner, spawn_site, _ in reachable:
-            for finding in self._check_scope(node, module, spawn_site):
+        for node, module, owner, spawn_site, _, owned in reachable:
+            for finding in self._check_scope(node, module, spawn_site, owned):
                 key = (finding.path, finding.line)
                 if key not in emitted:
                     emitted.add(key)
@@ -563,12 +576,14 @@ class ThreadSafetyRule(Rule):
         self, item: "ThreadSafetyRule._Item", project: ProjectModel
     ) -> List["ThreadSafetyRule._Item"]:
         """Project functions called from ``item``'s scope outside any
-        ``with <lock>:`` block."""
-        scope, module, owner, spawn_site, inherited = item
+        ``with <lock>:`` block, each with the parameter-ownership set the
+        call induces (see :meth:`_callee_owned`)."""
+        scope, module, owner, spawn_site, inherited, owned = item
         info = self._info_for(scope, module, owner)
         local_types = dict(inherited)
         if info is not None:
             local_types.update(project.infer_local_types(info, owner))
+        owned_names = self._fresh_names(scope) | owned
 
         calls: List[ast.Call] = []
 
@@ -604,8 +619,111 @@ class ThreadSafetyRule(Rule):
                 callee_owner = callee.module.classes.get(
                     callee.qualname.split(".")[0]
                 )
-            out.append((callee.node, callee.module, callee_owner, spawn_site, {}))
+            callee_owned = self._callee_owned(node, callee, owned_names)
+            out.append(
+                (callee.node, callee.module, callee_owner, spawn_site, {},
+                 callee_owned)
+            )
         return out
+
+    @staticmethod
+    def _rooted_at_owned(expr: ast.expr, owned_names: Set[str]) -> bool:
+        """True when ``expr`` is a name (or attribute chain on a name)
+        whose base is owned in the calling scope."""
+        base = expr
+        while isinstance(base, ast.Attribute):
+            base = base.value
+        return isinstance(base, ast.Name) and base.id in owned_names
+
+    @classmethod
+    def _callee_owned(
+        cls, node: ast.Call, callee: FunctionInfo, owned_names: Set[str]
+    ) -> FrozenSet[str]:
+        """Callee parameters that are thread-local on this call path.
+
+        Three transfers, all rooted in "constructed by this thread and
+        never published": ``self`` inside ``__init__`` reached as a
+        constructor call (the instance does not exist elsewhere yet);
+        ``self`` of a method whose receiver chain is rooted at an owned
+        name (transitive ownership — matches the engine's discipline of
+        not aliasing owned object graphs); and parameters bound to
+        arguments that are owned names in the caller.
+        """
+        owned: Set[str] = set()
+        raw_args = callee.node.args
+        positional = list(raw_args.posonlyargs) + list(raw_args.args)
+        is_static = any(
+            getattr(decorator, "id", None) == "staticmethod"
+            for decorator in callee.node.decorator_list
+        )
+        has_self = callee.is_method and not is_static and positional
+        if has_self:
+            is_ctor = (
+                callee.qualname.split(".")[-1] == "__init__"
+                and _terminal(node.func) != "__init__"
+            )
+            receiver_owned = isinstance(node.func, ast.Attribute) and (
+                cls._rooted_at_owned(node.func.value, owned_names)
+            )
+            if is_ctor or receiver_owned:
+                owned.add(positional[0].arg)
+        offset = 1 if has_self else 0
+        for position, arg in enumerate(node.args):
+            if isinstance(arg, ast.Starred):
+                break
+            index = offset + position
+            if index < len(positional) and cls._rooted_at_owned(arg, owned_names):
+                owned.add(positional[index].arg)
+        keyword_params = {a.arg for a in positional[offset:]} | set(
+            a.arg for a in raw_args.kwonlyargs
+        )
+        for keyword in node.keywords:
+            if keyword.arg in keyword_params and cls._rooted_at_owned(
+                keyword.value, owned_names
+            ):
+                owned.add(keyword.arg)
+        return frozenset(owned)
+
+    @staticmethod
+    def _fresh_names(scope: ast.AST) -> Set[str]:
+        """Names bound in ``scope`` to freshly constructed values — the
+        same value forms :meth:`_check_scope` treats as thread-local
+        (constructor/literal results and loop targets). Nested function
+        and class bodies are separate scopes and are excluded."""
+        fresh: Set[str] = set()
+        constructed = (
+            ast.Call, ast.List, ast.Dict, ast.Set, ast.ListComp,
+            ast.DictComp, ast.SetComp, ast.Constant, ast.Tuple, ast.BinOp,
+        )
+
+        def visit(node: ast.AST) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ) and child is not node:
+                    continue
+                if isinstance(child, ast.Assign):
+                    for target in child.targets:
+                        if isinstance(target, ast.Name) and isinstance(
+                            child.value, constructed
+                        ):
+                            fresh.add(target.id)
+                        elif isinstance(target, (ast.Tuple, ast.List)):
+                            for element in target.elts:
+                                if isinstance(element, ast.Name):
+                                    fresh.add(element.id)
+                elif isinstance(child, ast.AnnAssign) and isinstance(
+                    child.target, ast.Name
+                ):
+                    fresh.add(child.target.id)
+                elif isinstance(child, ast.For) and isinstance(
+                    child.target, ast.Name
+                ):
+                    fresh.add(child.target.id)
+                visit(child)
+
+        visit(scope)
+        return fresh
 
     @staticmethod
     def _info_for(
@@ -621,10 +739,17 @@ class ThreadSafetyRule(Rule):
         return candidate if candidate is not None and candidate.node is scope else None
 
     def _check_scope(
-        self, scope: ast.AST, module: ModuleInfo, spawn_site: str
+        self,
+        scope: ast.AST,
+        module: ModuleInfo,
+        spawn_site: str,
+        owned: FrozenSet[str] = frozenset(),
     ) -> Iterator[Finding]:
         ctx = module.ctx
-        fresh: Set[str] = set()  # locals constructed in this scope
+        # Locals constructed in this scope, seeded with parameters the
+        # calling path owns (thread-local object graphs, incl. 'self' in
+        # constructors and methods of owned receivers).
+        fresh: Set[str] = set(owned)
         nonlocals: Set[str] = set()
         body = getattr(scope, "body", [])
         args = getattr(scope, "args", None)
