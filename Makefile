@@ -1,6 +1,6 @@
 # Convenience targets for the repro repository.
 
-.PHONY: install test coverage lint reprolint reprolint-changed reprolint-sarif bench bench-reprolint bench-qps experiments experiments-small e20 trace-demo report csv clean
+.PHONY: install test coverage lint reprolint reprolint-changed reprolint-sarif bench bench-reprolint bench-qps experiments experiments-small e20 trace-demo livesmoke report csv clean
 
 install:
 	pip install -e .
@@ -77,6 +77,14 @@ e20:
 # the waterfall + timeline report (fast smoke preset).
 trace-demo:
 	REPRO_SCALE=small python -m repro trace e05 --smoke
+
+# Sim-vs-live parity smoke: boot the asyncio serving node in-process,
+# replay identical seeded arrival scripts through it and the simulator,
+# and check the live curves against the sim predictions within
+# tolerance bands. Writes live_parity.json (uploaded as a CI artifact).
+livesmoke:
+	python -m repro livesmoke --smoke --duration 1.5 --dilation 6 \
+	  --output live_parity.json
 
 report:
 	python -c "from repro.harness.report import generate_report; \

@@ -8,6 +8,9 @@ Examples::
     python -m repro --list              # list experiment ids
     python -m repro e05 --trace --json-dir out/   # + span/timeline JSONL
     python -m repro trace e05           # waterfall + timeline for one point
+    python -m repro serve --port 8642   # live asyncio serving node (TCP)
+    python -m repro loadgen --port 8642 --rate 500 --duration 2
+    python -m repro livesmoke --output live_parity.json   # sim-vs-live
 """
 
 from __future__ import annotations
@@ -84,6 +87,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
+    if argv and argv[0] == "loadgen":
+        return _loadgen_main(argv[1:])
+    if argv and argv[0] == "livesmoke":
+        return _livesmoke_main(argv[1:])
     args = _build_parser().parse_args(argv)
 
     if args.list:
@@ -381,6 +390,255 @@ def _trace_main(argv: List[str]) -> int:
         )
         print(f"wrote traces, timeline, and manifest to {args.out}")
     return 0
+
+
+# --------------------------------------------------------------------
+# Live serving mode: `repro serve`, `repro loadgen`, `repro livesmoke`
+# --------------------------------------------------------------------
+
+
+def _serve_main(argv: List[str]) -> int:
+    """Host the live asyncio serving node (see repro.runtime.serve)."""
+    import asyncio
+
+    from repro.harness.live import engine_search_for
+    from repro.runtime.node import ServingConfig, ServingNode
+    from repro.runtime.serve import AsyncioScheduler, LiveServer
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Serve the profiled engine over TCP (newline-delimited JSON): "
+            "the same scheduling kernel and policies as the simulator, on "
+            "wall-clock time."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8642,
+                        help="TCP port (0 = ephemeral)")
+    parser.add_argument(
+        "--scale", choices=[s.value for s in Scale], default=None,
+        help="system scale (default: REPRO_SCALE env var or 'reference')",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root seed")
+    parser.add_argument("--policy", default="adaptive",
+                        help="parallelism policy name (default: adaptive)")
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="per-query SLO budget in model seconds")
+    parser.add_argument("--max-queue", type=int, default=None,
+                        help="admission cap on the dispatch queue")
+    parser.add_argument(
+        "--dilation", type=float, default=1.0,
+        help="wall seconds per model second (default 1.0 = real time)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=None,
+        help="stop after this many wall seconds (default: run until the "
+        "shutdown op or Ctrl-C)",
+    )
+    parser.add_argument(
+        "--horizon", type=float, default=3600.0,
+        help="metrics measurement window in model seconds",
+    )
+    parser.add_argument(
+        "--budget", type=float, default=60.0,
+        help="default per-search completion budget in model seconds",
+    )
+    parser.add_argument(
+        "--no-engine", action="store_true",
+        help="skip real engine execution (timing-only service)",
+    )
+    args = parser.parse_args(argv)
+
+    scale = Scale(args.scale) if args.scale else None
+    ctx = ExperimentContext(scale=scale, seed=args.seed)
+    system = ctx.system
+    policy = system.policy(args.policy)
+    search = None if args.no_engine else engine_search_for(system)
+    print(f"context: {ctx}")
+
+    async def _amain() -> None:
+        scheduler = AsyncioScheduler(dilation=args.dilation)
+        node = ServingNode(
+            scheduler,
+            system.oracle,
+            policy,
+            ServingConfig(
+                n_cores=system.n_cores,
+                horizon_s=args.horizon,
+                deadline_s=args.deadline,
+                max_queue_length=args.max_queue,
+            ),
+            engine_search=search,
+        )
+        service = LiveServer(
+            node, dilation=args.dilation, request_budget_s=args.budget
+        )
+        serve_task = asyncio.get_running_loop().create_task(
+            service.serve(args.host, args.port, duration_s=args.duration)
+        )
+        port = await service.wait_ready()
+        print(
+            f"serving policy={policy.name} n_cores={system.n_cores} "
+            f"n_queries={system.oracle.n_queries} on {args.host}:{port} "
+            f"(dilation {args.dilation}x)",
+            flush=True,
+        )
+        await serve_task
+        print(
+            f"served {node.n_answered} queries, shed {node.server.n_shed}"
+        )
+
+    try:
+        asyncio.run(_amain())
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("interrupted")
+    return 0
+
+
+def _loadgen_main(argv: List[str]) -> int:
+    """Replay a seeded arrival script against a live server."""
+    import asyncio
+    import json
+
+    from repro.runtime.loadgen import (
+        ReplayOptions,
+        replay_open_loop,
+        run_closed_loop,
+    )
+    from repro.sim.experiment import LoadPointConfig
+    from repro.sim.script import build_arrival_script
+
+    parser = argparse.ArgumentParser(
+        prog="repro loadgen",
+        description=(
+            "Open- or closed-loop load generator for `repro serve`: replays "
+            "the same seeded arrival streams the simulator uses."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--rate", type=float, required=True,
+                        help="mean arrival rate (model QPS)")
+    parser.add_argument("--duration", type=float, default=2.0,
+                        help="workload horizon in model seconds")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--dilation", type=float, default=1.0,
+                        help="must match the server's dilation")
+    parser.add_argument("--budget", type=float, default=None,
+                        help="per-request completion budget (model seconds)")
+    parser.add_argument("--closed", type=int, default=None, metavar="N",
+                        help="closed loop with N clients (default: open loop)")
+    parser.add_argument("--think", type=float, default=0.0,
+                        help="closed-loop mean think time (model seconds)")
+    args = parser.parse_args(argv)
+
+    async def _amain() -> Dict[str, object]:
+        reader, writer = await asyncio.open_connection(args.host, args.port)
+
+        async def ask(payload: Dict[str, object]) -> Dict[str, object]:
+            writer.write((json.dumps(payload) + "\n").encode("utf-8"))
+            await writer.drain()
+            return json.loads(await reader.readline())
+
+        stats = await ask({"id": "probe", "op": "stats"})
+        n_queries = int(stats["n_queries"])
+        config = LoadPointConfig(
+            rate=args.rate, duration=args.duration, warmup=0.0,
+            n_cores=int(stats["n_cores"]), seed=args.seed,
+        )
+        script = build_arrival_script(n_queries, config)
+        options = ReplayOptions(dilation=args.dilation, budget_s=args.budget)
+        if args.closed is None:
+            replies = await replay_open_loop(
+                args.host, args.port, script, options
+            )
+        else:
+            per_client = await run_closed_loop(
+                args.host, args.port, script, args.closed,
+                think_time_s=args.think, options=options,
+            )
+            replies = [reply for chunk in per_client for reply in chunk]
+        final = await ask({"id": "final", "op": "stats", "rate": args.rate})
+        writer.close()
+        await writer.wait_closed()
+        answered = sum(
+            1 for r in replies if r and r.get("status") == "completed"
+        )
+        shed = sum(1 for r in replies if r and r.get("status") == "shed")
+        return {
+            "n_requests": len(script),
+            "n_completed": answered,
+            "n_shed": shed,
+            "n_lost": len(script) - answered - shed,
+            "server_summary": final.get("summary"),
+        }
+
+    outcome = asyncio.run(_amain())
+    print(json.dumps(outcome, indent=2, sort_keys=True))
+    return 0
+
+
+def _livesmoke_main(argv: List[str]) -> int:
+    """Sim-vs-live tolerance validation at matched load points."""
+    from repro.harness.live import run_live_smoke
+
+    parser = argparse.ArgumentParser(
+        prog="repro livesmoke",
+        description=(
+            "Boot the live server in-process, replay identical seeded "
+            "scripts through it and the simulator, and check the live "
+            "latency/shed curves against the sim predictions."
+        ),
+    )
+    parser.add_argument(
+        "--scale", choices=[s.value for s in Scale], default=None,
+        help="system scale (default: REPRO_SCALE env var or 'reference')",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="force the small scale")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--duration", type=float, default=2.0,
+                        help="per-point horizon in model seconds")
+    parser.add_argument("--dilation", type=float, default=10.0,
+                        help="wall seconds per model second")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the machine-readable report here")
+    parser.add_argument("--engine-results", action="store_true",
+                        help="run the real engine per completed query")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        scale = Scale.SMALL
+    else:
+        scale = Scale(args.scale) if args.scale else None
+    ctx = ExperimentContext(scale=scale, seed=args.seed)
+    print(f"context: {ctx}")
+    report, ok = run_live_smoke(
+        context=ctx,
+        duration_s=args.duration,
+        dilation=args.dilation,
+        seed=args.seed,
+        output=None if args.output is None else str(args.output),
+        engine_results=args.engine_results,
+    )
+    for entry in report["points"]:
+        status = "ok" if entry["ok"] else "FAIL"
+        print(f"\n[{status}] {entry['point']} "
+              f"rate={entry['rate']:.1f} arrivals={entry['n_arrivals']}")
+        for metric, row in sorted(entry["metrics"].items()):
+            if row["kind"] == "skipped-nan":
+                continue
+            flag = "ok " if row["ok"] else "OUT"
+            print(
+                f"  {flag} {metric:>15}: sim={row['sim']:.6g} "
+                f"live={row['live']:.6g} dev={row['deviation']:.3f} "
+                f"band={row['band']:.2f}"
+            )
+    if args.output is not None:
+        print(f"\nreport written to {args.output}")
+    print(f"\nlive smoke: {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,16 +1,37 @@
 """Wall-clock runtime drivers.
 
 The counterpart of :mod:`repro.sim`: where the simulator drives the
-scheduling kernel on virtual time, this package hosts the pieces that
-drive it on *wall* time — today just :class:`~repro.runtime.clock.
-WallClock`, the live implementation of the kernel's ``ClockProtocol``;
-the asyncio serving front door lands here next (see ROADMAP.md).
+scheduling kernel on virtual time, this package drives it on *wall*
+time —
+
+* :class:`~repro.runtime.clock.WallClock` / :class:`~repro.runtime.
+  clock.FakeClock` — the live and deterministic-test implementations
+  of the kernel's clock interfaces;
+* :class:`~repro.runtime.node.ServingNode` — the clock-agnostic server
+  model assembled for live serving (engine results, outcome
+  callbacks, shared metrics schema);
+* :mod:`~repro.runtime.serve` — the asyncio TCP front door and the
+  dilated :class:`~repro.runtime.serve.AsyncioScheduler`;
+* :mod:`~repro.runtime.loadgen` — open/closed-loop protocol clients
+  replaying the simulator's seeded arrival scripts;
+* :mod:`~repro.runtime.parity` / :mod:`~repro.runtime.smoke` — the
+  sim-vs-live verification tier (exact decision parity on FakeClock,
+  tolerance-band smoke validation over real sockets).
 
 Layering (enforced by reprolint R014): ``runtime`` may use the kernel,
-models, and observability, but the kernel never imports ``runtime`` —
-it only ever sees :class:`repro.core.clock.ClockProtocol`.
+models, observability, and the ``sim`` workload/metrics/server-model
+modules it rehosts, but neither ``sim`` nor the kernel ever imports
+``runtime`` — kernel code only sees
+:class:`repro.core.clock.ClockProtocol`.
 """
 
-from repro.runtime.clock import WallClock
+from repro.runtime.clock import FakeClock, WallClock
+from repro.runtime.node import QueryOutcome, ServingConfig, ServingNode
 
-__all__ = ["WallClock"]
+__all__ = [
+    "FakeClock",
+    "QueryOutcome",
+    "ServingConfig",
+    "ServingNode",
+    "WallClock",
+]

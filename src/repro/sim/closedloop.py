@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 from repro.policies.base import ParallelismPolicy
 from repro.sim.engine import Simulator
-from repro.sim.experiment import LoadPointConfig, LoadPointSummary, _summarize
+from repro.sim.experiment import LoadPointConfig, LoadPointSummary, summarize_load_point
 from repro.sim.metrics import MetricsCollector, QueryRecord
 from repro.sim.oracle import ServiceOracle
 from repro.sim.server import IndexServerModel
@@ -105,4 +105,4 @@ def run_closed_loop_point(
         n_cores=config.n_cores,
         seed=config.seed,
     )
-    return _summarize(metrics, policy, shim, offered, queue_delays)
+    return summarize_load_point(metrics, policy, shim, offered, queue_delays)

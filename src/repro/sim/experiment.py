@@ -188,10 +188,24 @@ def run_load_point(
 
     queue_delays = metrics.queue_delays()
     offered = config.rate * oracle.mean_sequential_latency() / config.n_cores
-    return _summarize(metrics, policy, config, offered, queue_delays)
+    return summarize_load_point(metrics, policy, config, offered, queue_delays)
 
 
-def _summarize(metrics, policy, config, offered, queue_delays):
+def summarize_load_point(
+    metrics: MetricsCollector,
+    policy: ParallelismPolicy,
+    config: LoadPointConfig,
+    offered: float,
+    queue_delays: np.ndarray,
+) -> LoadPointSummary:
+    """Build a :class:`LoadPointSummary` from a finished collector.
+
+    Public because it is the *shared* summary schema: the virtual-time
+    runners here, the closed-loop runner, and the wall-clock serving
+    runtime (:mod:`repro.runtime`) all report through this one function,
+    so simulated and live load points are directly comparable
+    field-for-field.
+    """
     deadline = getattr(config, "slo", None) or getattr(config, "deadline", None)
     return LoadPointSummary(
         policy=policy.name,
@@ -273,6 +287,6 @@ def run_trace_point(
         rate=mean_rate, duration=effective_horizon,
         warmup=warmup, n_cores=n_cores,
     )
-    summary = _summarize(metrics, policy, config, offered, queue_delays)
+    summary = summarize_load_point(metrics, policy, config, offered, queue_delays)
     records = sorted(metrics.records, key=lambda r: r.arrival)
     return summary, records

@@ -13,6 +13,14 @@ Dispatch model (mirrors the paper's system):
   threads span the query's lifetime);
 * on completion the cores are released and dispatch continues.
 
+The model is clock-agnostic: it touches time only through the injected
+:class:`~repro.core.clock.SchedulerProtocol` (``.now`` plus
+``.schedule(delay_s, callback)``). The virtual-time
+:class:`~repro.sim.engine.Simulator` satisfies it for simulation; the
+live runtime rehosts the *same* model on a wall-clock scheduler
+(:mod:`repro.runtime.serve`) or on the manually-advanced
+:class:`~repro.runtime.clock.FakeClock` in deterministic server tests.
+
 Incremental ("few-to-many") policies yield two-phase jobs: a sequential
 probe, then — if the query outlives the probe — an escalation to the
 load-chosen degree using whatever cores are free at that moment.
@@ -59,10 +67,10 @@ from repro.core.scheduling import (
     plan_escalation,
     plan_initial_phase,
 )
+from repro.core.clock import SchedulerProtocol
 from repro.errors import SimulationError
 from repro.obs.spans import NULL_TRACER, QueryTraceBuilder, Tracer
 from repro.policies.base import ParallelismPolicy
-from repro.sim.engine import Simulator
 from repro.sim.faults import FaultSchedule
 from repro.sim.metrics import MetricsCollector, QueryRecord
 from repro.sim.oracle import ServiceOracle
@@ -108,7 +116,7 @@ class IndexServerModel:
 
     def __init__(
         self,
-        simulator: Simulator,
+        simulator: SchedulerProtocol,
         oracle: ServiceOracle,
         policy: ParallelismPolicy,
         n_cores: int,

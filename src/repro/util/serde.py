@@ -9,6 +9,7 @@ inspected or re-plotted without this library.
 from __future__ import annotations
 
 import dataclasses
+import enum
 import json
 from pathlib import Path
 from typing import Any, Union
@@ -22,6 +23,8 @@ def to_jsonable(obj: Any) -> Any:
     """Recursively convert ``obj`` into JSON-serializable primitives."""
     if obj is None or isinstance(obj, (bool, int, float, str)):
         return obj
+    if isinstance(obj, enum.Enum):
+        return to_jsonable(obj.value)
     if isinstance(obj, (np.bool_,)):
         return bool(obj)
     if isinstance(obj, np.integer):

@@ -248,3 +248,91 @@ class TestSkippingSemantics:
             threaded = engine.execute_threaded(query, 4)
             sequential = engine.execute(query, 1)
             assert threaded.doc_ids == sequential.doc_ids
+
+
+class TestBatchEdgeCases:
+    """Degenerate batch shapes stay bit-identical to per-query runs."""
+
+    def test_empty_batch_returns_empty_and_no_stats(self, small_engine):
+        executor = small_engine.batch_executor()
+        assert executor.execute([]) == []
+        assert executor.last_stats == BatchStats(queries=0, waves=0)
+
+    def test_single_query_batch_bit_identical(
+        self, small_workbench, sample_queries
+    ):
+        for name in sorted(TERMINATION_MATRIX):
+            engine = _engine(small_workbench, TERMINATION_MATRIX[name])
+            query = sample_queries[0]
+            [batched] = engine.execute_batch([query])
+            _assert_identical(batched, engine.execute(query, 1))
+
+    def test_initial_wave_equals_max_wave(
+        self, small_workbench, sample_queries
+    ):
+        # Wave growth disabled: the doubling schedule clamps immediately,
+        # so every wave has the same width. Results must not notice.
+        engine = _engine(small_workbench, TERMINATION_MATRIX["default"])
+        queries = sample_queries[:12]
+        for wave in (1, 8):
+            executor = engine.batch_executor(initial_wave=wave, max_wave=wave)
+            results = executor.execute(queries)
+            assert executor.last_stats.queries == len(queries)
+            for query, result in zip(queries, results):
+                _assert_identical(result, engine.execute(query, 1))
+
+    @pytest.fixture(scope="class")
+    def sparse_engine(self):
+        # A corpus that uses a sliver of its vocabulary: most term ids
+        # have no postings, so queries over them produce zero candidate
+        # chunks.
+        from repro.corpus.generator import CorpusConfig, generate_corpus
+        from repro.index.builder import IndexConfig, build_index
+
+        corpus = generate_corpus(
+            CorpusConfig(n_docs=60, vocab_size=8_000, mean_doc_length=40,
+                         seed=5)
+        )
+        return Engine(build_index(corpus, IndexConfig(chunk_size=16)))
+
+    def _absent_terms(self, engine, n):
+        df = engine.index.lexicon.document_frequencies()
+        absent = np.nonzero(df == 0)[0]
+        assert len(absent) >= n, "corpus unexpectedly uses the whole vocab"
+        return [int(t) for t in absent[:n]]
+
+    def test_all_queries_stop_before_any_scoring(self, sparse_engine):
+        # Every query's terms are absent from the index: zero candidate
+        # chunks, so each run finalizes without a single wave being
+        # scored — and must still report the exact per-query outcome.
+        terms = self._absent_terms(sparse_engine, 4)
+        queries = [Query.of([t], k=5) for t in terms]
+        executor = sparse_engine.batch_executor()
+        results = executor.execute(queries)
+        assert len(results) == len(queries)
+        for query, batched in zip(queries, results):
+            _assert_identical(batched, sparse_engine.execute(query, 1))
+            assert batched.n_results == 0
+            assert batched.chunks_evaluated == 0
+        stats = executor.last_stats
+        assert stats.queries == len(queries)
+        assert stats.chunks_evaluated == 0
+        assert stats.chunks_speculative == 0
+
+    def test_mixed_absent_and_present_queries(self, sparse_engine):
+        terms = self._absent_terms(sparse_engine, 2)
+        present = [
+            int(t) for t in np.nonzero(
+                sparse_engine.index.lexicon.document_frequencies() > 0
+            )[0][:2]
+        ]
+        queries = [
+            Query.of([terms[0]], k=5),
+            Query.of(present, k=5, mode=MatchMode.ANY),
+            Query.of([terms[1]], k=5),
+            Query.of([present[0]], k=5),
+        ]
+        results = sparse_engine.execute_batch(queries)
+        for query, batched in zip(queries, results):
+            _assert_identical(batched, sparse_engine.execute(query, 1))
+        assert any(r.n_results > 0 for r in results)

@@ -7,12 +7,16 @@ scale before the refactor; e05 (fixed-degree load sweep), e09 (bursty
 MMPP2 arrivals with adaptive probing), and e19 (overload: deadlines,
 shedding, faults, hedging) jointly cover admission, deadline shedding,
 degree granting, probe planning, and escalation — the full extracted
-surface.
+surface. e20 (regime shifts: online tail-feedback control, anomaly
+guard, class shedding) was added when the live serving runtime rehosted
+the server model on wall-clock schedulers: it exercises the
+controller-attachment path that both hostings now share.
 
 If a change legitimately alters results (new model semantics, not a
 refactor), regenerate with ``python -m repro --scale small --json-dir
-<dir> e05 e09 e19`` (re-serialize with ``json.dumps(..., sort_keys=True,
-indent=2)`` as below) and document why in the commit message.
+<dir> e05 e09 e19 e20`` (re-serialize with ``json.dumps(...,
+sort_keys=True, indent=2)`` as below) and document why in the commit
+message.
 """
 
 import json
@@ -26,7 +30,7 @@ from repro.harness.registry import run_experiment
 GOLDEN = Path(__file__).resolve().parent / "fixtures" / "golden"
 
 
-@pytest.mark.parametrize("experiment_id", ["e05", "e09", "e19"])
+@pytest.mark.parametrize("experiment_id", ["e05", "e09", "e19", "e20"])
 def test_small_scale_output_matches_golden(experiment_id):
     result = run_experiment(
         experiment_id, ExperimentContext(scale=Scale.SMALL)

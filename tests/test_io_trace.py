@@ -269,6 +269,98 @@ class TestLazyLexicon:
         assert "materialized=0" in repr(loaded.lexicon)
 
 
+class TestLazyLexiconErrorPaths:
+    """Typed errors for every way a shard's columns can be corrupt.
+
+    Each tampering mode must surface as :class:`IndexError_` naming the
+    offending file (so an operator can tell *which* column is bad), not
+    as a raw ``OSError``/``ValueError`` from numpy or a silent
+    mis-assembled lexicon.
+    """
+
+    def test_missing_column_file_names_the_column(self, tiny_index, tmp_path):
+        path = save_index(tiny_index, tmp_path / "shard")
+        (path / "term_ids.npy").unlink()
+        with pytest.raises(IndexError_, match="term_ids.npy"):
+            load_index(path)
+
+    def test_truncated_npy_names_the_column(self, tiny_index, tmp_path):
+        path = save_index(tiny_index, tmp_path / "shard")
+        column = path / "posting_impacts.npy"
+        column.write_bytes(column.read_bytes()[:16])
+        with pytest.raises(IndexError_, match="posting_impacts.npy"):
+            load_index(path)
+
+    def test_truncated_npy_rejected_under_mmap_and_ram(
+        self, tiny_index, tmp_path
+    ):
+        path = save_index(tiny_index, tmp_path / "shard")
+        column = path / "posting_freqs.npy"
+        column.write_bytes(column.read_bytes()[:40])
+        for mmap in (True, False):
+            with pytest.raises(IndexError_):
+                load_index(path, mmap=mmap)
+
+    def test_meta_columns_length_mismatch_rejected(self, tiny_index, tmp_path):
+        # term_offsets must have exactly len(term_ids) + 1 entries; a
+        # shard whose offsets column was swapped for a shorter array
+        # parses as valid .npy files but must fail lexicon assembly.
+        path = save_index(tiny_index, tmp_path / "shard")
+        offsets = np.load(path / "term_offsets.npy")
+        np.save(path / "term_offsets.npy", offsets[:-2])
+        with pytest.raises(IndexError_, match="entries"):
+            load_index(path)
+
+    def test_term_id_outside_vocab_rejected(self, tiny_index, tmp_path):
+        # meta.json's vocab_size and the term_ids column disagree: the
+        # lexicon refuses rather than indexing out of bounds later.
+        import json
+
+        path = save_index(tiny_index, tmp_path / "shard")
+        meta = json.loads((path / "meta.json").read_text())
+        meta["vocab_size"] = 1
+        (path / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(IndexError_, match="outside"):
+            load_index(path)
+
+    def test_v1_v2_v1_resave_roundtrip_under_mmap(self, tiny_index, tmp_path):
+        # Format migration both ways with a memory-mapped middle hop:
+        # v1 archive -> v2 shard -> load with mmap_mode="r" -> resave as
+        # v1. Saving must accept np.memmap-backed columns, and every
+        # posting column must survive the full loop bit-identically.
+        first = save_index(tiny_index, tmp_path / "first.npz", format_version=1)
+        v2 = save_index(load_index(first), tmp_path / "middle")
+        mapped = load_index(v2, mmap=True)
+        assert isinstance(mapped.lexicon.columns()["posting_doc_ids"], np.memmap)
+        second = save_index(mapped, tmp_path / "second.npz", format_version=1)
+        final = load_index(second)
+        assert final.bm25_params == tiny_index.bm25_params
+        assert final.chunk_map.chunk_size == tiny_index.chunk_map.chunk_size
+        assert np.array_equal(
+            final.lexicon.document_frequencies(),
+            tiny_index.lexicon.document_frequencies(),
+        )
+        with np.load(first) as a, np.load(second) as b:
+            assert set(a.files) == set(b.files)
+            for name in a.files:
+                assert np.array_equal(a[name], b[name]), name
+
+    def test_mmap_loaded_shard_queries_match_original(
+        self, tiny_index, tmp_path
+    ):
+        path = save_index(tiny_index, tmp_path / "shard")
+        mapped = load_index(path, mmap=True)
+        original = Engine(tiny_index)
+        loaded = Engine(mapped)
+        generator = QueryGenerator(
+            QueryWorkloadConfig(vocab_size=tiny_index.lexicon.vocab_size, seed=11)
+        )
+        for query in generator.sample_many(8):
+            a = original.execute(query, 2)
+            b = loaded.execute(query, 2)
+            assert a.doc_ids == b.doc_ids
+
+
 class TestWorkloadTrace:
     def _generator(self, seed=0):
         return QueryGenerator(QueryWorkloadConfig(vocab_size=500, seed=seed))

@@ -1,0 +1,133 @@
+"""Tests for the runtime clocks: FakeClock semantics and WallClock."""
+
+import pytest
+
+from repro.core.clock import ClockProtocol, SchedulerProtocol
+from repro.errors import SimulationError
+from repro.runtime.clock import FakeClock, WallClock
+
+
+class TestProtocolConformance:
+    def test_fake_clock_is_a_scheduler(self):
+        clock = FakeClock()
+        assert isinstance(clock, ClockProtocol)
+        assert isinstance(clock, SchedulerProtocol)
+
+    def test_wall_clock_is_a_clock(self):
+        assert isinstance(WallClock(), ClockProtocol)
+
+    def test_wall_clock_monotone(self):
+        clock = WallClock()
+        a = clock.now
+        b = clock.now
+        assert 0 <= a <= b
+
+
+class TestFakeClockScheduling:
+    def test_starts_at_zero_and_idle(self):
+        clock = FakeClock()
+        assert clock.now == 0.0  # reprolint: disable=R004 -- FakeClock time is assigned, never accumulated; exactness is the contract
+        assert clock.pending == 0
+        assert clock.next_event_s() is None
+
+    def test_fires_in_time_order(self):
+        clock = FakeClock()
+        fired = []
+        clock.schedule(2.0, lambda: fired.append("b"))
+        clock.schedule(1.0, lambda: fired.append("a"))
+        clock.schedule(3.0, lambda: fired.append("c"))
+        assert clock.advance_to(10.0) == 3
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_submission_order(self):
+        clock = FakeClock()
+        fired = []
+        for name in "abcd":
+            clock.schedule(1.0, lambda n=name: fired.append(n))
+        clock.drain()
+        assert fired == ["a", "b", "c", "d"]
+
+    def test_clock_reads_fire_time_inside_callback(self):
+        clock = FakeClock()
+        seen = []
+        clock.schedule(1.5, lambda: seen.append(clock.now))
+        clock.schedule(4.0, lambda: seen.append(clock.now))
+        clock.advance_to(5.0)
+        assert seen == [1.5, 4.0]
+        assert clock.now == 5.0  # reprolint: disable=R004 -- advance_to sets now to the target exactly
+
+    def test_boundary_events_fire(self):
+        # Events scheduled exactly at the advance target fire — the
+        # same `<=` convention as Simulator.run(until_s).
+        clock = FakeClock()
+        fired = []
+        clock.schedule(2.0, lambda: fired.append("edge"))
+        assert clock.advance_to(2.0) == 1
+        assert fired == ["edge"]
+
+    def test_callbacks_can_schedule_callbacks(self):
+        clock = FakeClock()
+        fired = []
+
+        def first():
+            fired.append(("first", clock.now))
+            clock.schedule(1.0, lambda: fired.append(("second", clock.now)))
+
+        clock.schedule(1.0, first)
+        # The chained callback is due inside the same advance window.
+        assert clock.advance_to(3.0) == 2
+        assert fired == [("first", 1.0), ("second", 2.0)]
+
+    def test_advance_by_and_counts(self):
+        clock = FakeClock(start_s=5.0)
+        clock.schedule(1.0, lambda: None)
+        clock.schedule(4.0, lambda: None)
+        assert clock.advance_by(2.0) == 1
+        assert clock.now == 7.0  # reprolint: disable=R004 -- advance_by lands on start + delta exactly
+        assert clock.pending == 1
+        assert clock.next_event_s() == pytest.approx(9.0)
+
+    def test_schedule_at_absolute(self):
+        clock = FakeClock()
+        fired = []
+        clock.schedule_at(3.0, lambda: fired.append(clock.now))
+        clock.drain()
+        assert fired == [3.0]
+        assert clock.now == 3.0  # reprolint: disable=R004 -- drain leaves now at the last fire time exactly
+
+
+class TestFakeClockErrors:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            FakeClock().schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        clock = FakeClock(start_s=10.0)
+        with pytest.raises(SimulationError):
+            clock.schedule_at(9.0, lambda: None)
+
+    def test_advance_backwards_rejected(self):
+        clock = FakeClock(start_s=2.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(1.0)
+
+    def test_negative_advance_by_rejected(self):
+        with pytest.raises(SimulationError):
+            FakeClock().advance_by(-1.0)
+
+    def test_drain_bounds_runaway_reschedule(self):
+        clock = FakeClock()
+
+        def reschedule():
+            clock.schedule(1.0, reschedule)
+
+        clock.schedule(1.0, reschedule)
+        with pytest.raises(SimulationError):
+            clock.drain(max_events=100)
+
+    def test_drain_returns_total_fired(self):
+        clock = FakeClock()
+        for i in range(5):
+            clock.schedule(float(i), lambda: None)
+        assert clock.drain() == 5
+        assert clock.pending == 0
